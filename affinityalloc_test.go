@@ -1,0 +1,95 @@
+package affinityalloc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"affinityalloc"
+)
+
+func TestPublicAllocatorAPI(t *testing.T) {
+	s := affinityalloc.NewSystem(affinityalloc.DefaultConfig())
+
+	a, err := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 4, NumElem: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 4, NumElem: 1 << 12, AlignTo: a.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int64{0, 100, 4095} {
+		if s.RT.BankOf(a.ElemAddr(i)) != s.RT.BankOf(b.ElemAddr(i)) {
+			t.Fatalf("element %d not colocated", i)
+		}
+	}
+
+	// Irregular allocation near an existing address.
+	n, err := s.RT.AllocNear(64, []affinityalloc.Addr{a.ElemAddr(500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the default Hybrid-5 policy with an empty system the node
+	// lands on or near the hinted bank.
+	if d := s.Mesh.Hops(s.RT.BankOf(n), s.RT.BankOf(a.ElemAddr(500))); d > 2 {
+		t.Errorf("irregular allocation %d hops from its affinity target", d)
+	}
+	if err := s.RT.Free(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicWorkloadAPI(t *testing.T) {
+	g := affinityalloc.Kronecker(10, 8, 1)
+	w := affinityalloc.BFSWorkload(g, g.Transpose())
+	var base affinityalloc.Result
+	for i, mode := range affinityalloc.Modes {
+		res, err := affinityalloc.RunWorkload(affinityalloc.DefaultConfig(), w, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+		} else if res.Checksum != base.Checksum {
+			t.Errorf("%v result differs", mode)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := affinityalloc.Experiments()
+	if len(exps) != 14 {
+		t.Errorf("registry has %d experiments, want 14", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"fig4", "fig6", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "t2", "t3", "t4"} {
+		if !seen[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+}
+
+// ExampleNewSystem demonstrates the Fig-8 inter-array alignment: the
+// runtime chooses a doubled interleaving for the double-width array so
+// element i of every array shares a bank.
+func ExampleNewSystem() {
+	s := affinityalloc.NewSystem(affinityalloc.DefaultConfig())
+	a, _ := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 4, NumElem: 1 << 12})
+	c, _ := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 8, NumElem: 1 << 12, AlignTo: a.Base})
+	fmt.Println("A interleave:", a.Interleave)
+	fmt.Println("C interleave:", c.Interleave)
+	fmt.Println("colocated:", s.RT.BankOf(a.ElemAddr(999)) == s.RT.BankOf(c.ElemAddr(999)))
+	// Output:
+	// A interleave: 64
+	// C interleave: 128
+	// colocated: true
+}

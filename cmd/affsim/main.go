@@ -1,0 +1,134 @@
+// Command affsim runs one benchmark or one paper experiment on the
+// simulated system and prints paper-shaped output.
+//
+// Usage:
+//
+//	affsim -list
+//	affsim -exp fig12 [-scale tiny|default|paper] [-seed N]
+//	affsim -workload bfs [-scale ...] [-policy hybrid5|minhop|rnd|lnr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/harness"
+	"affinityalloc/internal/stats"
+	"affinityalloc/internal/sys"
+	"affinityalloc/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments and workloads")
+		exp      = flag.String("exp", "", "experiment id to regenerate (fig4, fig6, fig12, ...)")
+		workload = flag.String("workload", "", "workload to run under all three configurations")
+		scaleStr = flag.String("scale", "default", "experiment scale: tiny|default|paper")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		policy   = flag.String("policy", "hybrid5", "bank policy: rnd|lnr|minhop|hybrid1|hybrid3|hybrid5|hybrid7")
+	)
+	flag.Parse()
+
+	scale, err := harness.ParseScale(*scaleStr)
+	if err != nil {
+		fatal(err)
+	}
+	opt := harness.Options{Scale: scale, Seed: *seed}
+
+	switch {
+	case *list:
+		fmt.Println("experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-7s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("workloads:")
+		for _, w := range workloadSet(opt) {
+			fmt.Printf("  %s\n", w.Name())
+		}
+	case *exp != "":
+		e, ok := harness.Lookup(*exp)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (try -list)", *exp))
+		}
+		fig, err := e.Run(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fig.Render(os.Stdout)
+	case *workload != "":
+		runWorkload(opt, *workload, *policy)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "affsim:", err)
+	os.Exit(1)
+}
+
+func workloadSet(opt harness.Options) []workloads.Workload {
+	return harness.AllWorkloads(opt)
+}
+
+func parsePolicy(v string) (core.PolicyConfig, error) {
+	switch strings.ToLower(v) {
+	case "rnd":
+		return core.PolicyConfig{Policy: core.Rnd}, nil
+	case "lnr":
+		return core.PolicyConfig{Policy: core.Lnr}, nil
+	case "minhop":
+		return core.PolicyConfig{Policy: core.MinHop}, nil
+	case "hybrid1":
+		return core.PolicyConfig{Policy: core.Hybrid, H: 1}, nil
+	case "hybrid3":
+		return core.PolicyConfig{Policy: core.Hybrid, H: 3}, nil
+	case "hybrid5", "":
+		return core.PolicyConfig{Policy: core.Hybrid, H: 5}, nil
+	case "hybrid7":
+		return core.PolicyConfig{Policy: core.Hybrid, H: 7}, nil
+	}
+	return core.PolicyConfig{}, fmt.Errorf("unknown policy %q", v)
+}
+
+func runWorkload(opt harness.Options, name, policyStr string) {
+	pcfg, err := parsePolicy(policyStr)
+	if err != nil {
+		fatal(err)
+	}
+	var w workloads.Workload
+	for _, cand := range workloadSet(opt) {
+		if cand.Name() == name {
+			w = cand
+			break
+		}
+	}
+	if w == nil {
+		fatal(fmt.Errorf("unknown workload %q (try -list)", name))
+	}
+
+	tbl := stats.NewTable(fmt.Sprintf("%s at scale=%v (policy %v)", name, opt.Scale, pcfg.Policy),
+		"config", "cycles", "speedup.vs.InCore", "hops.data", "hops.control", "hops.offload", "l3miss", "noc.util", "energy")
+	cfg := sys.DefaultConfig()
+	cfg.Seed = opt.Seed
+	cfg.Policy = pcfg
+	var base workloads.Result
+	for i, mode := range sys.Modes {
+		res, err := workloads.Run(cfg, w, mode)
+		if err != nil {
+			fatal(err)
+		}
+		if i == 0 {
+			base = res
+		}
+		d, c, o := res.Metrics.DataHops()
+		tbl.AddRow(mode.String(), uint64(res.Metrics.Cycles),
+			float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles),
+			d, c, o, res.Metrics.L3MissRate, res.Metrics.NoCUtil, res.Metrics.EnergyTotal)
+	}
+	tbl.Render(os.Stdout)
+}

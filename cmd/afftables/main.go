@@ -1,0 +1,69 @@
+// Command afftables regenerates every table and figure of the paper's
+// evaluation and writes the combined report (the data behind
+// EXPERIMENTS.md) to stdout or a file.
+//
+// Usage:
+//
+//	afftables [-scale tiny|default|paper] [-seed N] [-o report.txt] [-only fig12,fig13]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"affinityalloc/internal/harness"
+)
+
+func main() {
+	var (
+		scaleStr = flag.String("scale", "default", "experiment scale: tiny|default|paper")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		outPath  = flag.String("o", "", "output file (default stdout)")
+		only     = flag.String("only", "", "comma-separated experiment ids (default all)")
+	)
+	flag.Parse()
+
+	scale, err := harness.ParseScale(*scaleStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "afftables:", err)
+		os.Exit(1)
+	}
+	opt := harness.Options{Scale: scale, Seed: *seed}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "afftables:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	fmt.Fprintf(out, "# Affinity Alloc — regenerated evaluation (scale=%v, seed=%d)\n\n", scale, *seed)
+	for _, e := range harness.Experiments() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		fig, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(out, "### %s — FAILED: %v\n\n", e.ID, err)
+			continue
+		}
+		fig.Render(out)
+		fmt.Fprintf(out, "(regenerated in %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

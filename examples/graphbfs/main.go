@@ -1,0 +1,45 @@
+// Graph processing example: breadth-first search over a Kronecker graph
+// with the paper's co-designed data structures — the Linked CSR format
+// (§5.3, each cache-line-sized edge node allocated near the vertices its
+// edges point to) and the spatially distributed work queue (Fig 9).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"affinityalloc"
+)
+
+func main() {
+	// Table-3 style input: an R-MAT graph with A/B/C = 0.57/0.19/0.19.
+	g := affinityalloc.Kronecker(13, 12, 7)
+	gt := g.Transpose()
+	fmt.Printf("graph: |V|=%d |E|=%d avg degree %.1f\n\n", g.N, g.NumEdges(), g.AvgDegree())
+
+	w := affinityalloc.BFSWorkload(g, gt)
+	fmt.Println("bfs (direction-switching) under the three configurations:")
+	var base affinityalloc.Result
+	for i, mode := range affinityalloc.Modes {
+		res, err := affinityalloc.RunWorkload(affinityalloc.DefaultConfig(), w, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+		}
+		if res.Checksum != base.Checksum {
+			log.Fatalf("%v computed a different BFS tree!", mode)
+		}
+		d, c, o := res.Metrics.DataHops()
+		fmt.Printf("  %-9v %8d cycles (%.2fx)  traffic d/c/o = %d/%d/%d  noc util %.2f\n",
+			mode, res.Metrics.Cycles,
+			float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles),
+			d, c, o, res.Metrics.NoCUtil)
+	}
+
+	fmt.Println("\nEvery configuration computes the identical BFS levels (checksums")
+	fmt.Println("verified); only the data layout — and therefore the traffic — differs.")
+	fmt.Println("Aff-Alloc places each Linked-CSR edge node near the parent entries its")
+	fmt.Println("edges update, so the frontier's atomic updates stop crossing the mesh.")
+}

@@ -1,0 +1,69 @@
+// Quickstart: allocate three arrays with inter-array affinity and run
+// the paper's motivating kernel, C[i] = A[i] + B[i], under the three
+// configurations — conventional in-core execution, near-stream computing
+// with an oblivious layout, and near-stream computing with affinity
+// allocation (Figs 1 and 3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"affinityalloc"
+)
+
+func main() {
+	// Build the Table-2 system: an 8x8 mesh of tiles, each with a core
+	// and a 1MB L3 bank.
+	s := affinityalloc.NewSystem(affinityalloc.DefaultConfig())
+
+	// The affinity allocator speaks the paper's declarative API: B and C
+	// state that element i should live with A[i]; the runtime picks the
+	// interleaving (Eq. 3) and start bank that make it so.
+	const n = 1 << 16
+	a, err := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 4, NumElem: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 4, NumElem: n, AlignTo: a.Base})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 8, NumElem: n, AlignTo: a.Base})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("alignment chosen by the runtime:")
+	fmt.Printf("  A: interleave %4dB  start bank %d\n", a.Interleave, a.StartBank)
+	fmt.Printf("  B: interleave %4dB  start bank %d\n", b.Interleave, b.StartBank)
+	fmt.Printf("  C: interleave %4dB  start bank %d (double-width elements, Eq. 3)\n", c.Interleave, c.StartBank)
+	for _, i := range []int64{0, 1000, n - 1} {
+		fmt.Printf("  element %6d lives on banks A=%2d B=%2d C=%2d\n",
+			i, s.RT.BankOf(a.ElemAddr(i)), s.RT.BankOf(b.ElemAddr(i)), s.RT.BankOf(c.ElemAddr(i)))
+	}
+
+	// Now run the full vector-add workload under each configuration on
+	// fresh systems and compare.
+	fmt.Println("\nvecadd under the three configurations:")
+	type row struct {
+		mode    affinityalloc.Mode
+		metrics affinityalloc.Metrics
+	}
+	var rows []row
+	for _, mode := range affinityalloc.Modes {
+		res, err := affinityalloc.RunWorkload(affinityalloc.DefaultConfig(), affinityalloc.VecAddWorkload(1<<18), mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{mode, res.Metrics})
+	}
+	base := float64(rows[0].metrics.Cycles)
+	for _, r := range rows {
+		d, ctl, off := r.metrics.DataHops()
+		fmt.Printf("  %-9v  %8d cycles  (%.2fx)   traffic d/c/o = %d/%d/%d flit-hops\n",
+			r.mode, r.metrics.Cycles, base/float64(r.metrics.Cycles), d, ctl, off)
+	}
+	fmt.Println("\nWith affinity allocation the operand-forwarding traffic disappears")
+	fmt.Println("and near-data computing is finally near the data (Fig 3c).")
+}

@@ -1,0 +1,3 @@
+module affinityalloc
+
+go 1.22

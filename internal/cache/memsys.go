@@ -1,0 +1,204 @@
+package cache
+
+import (
+	"fmt"
+
+	"affinityalloc/internal/engine"
+	"affinityalloc/internal/memsim"
+	"affinityalloc/internal/noc"
+)
+
+// MemSysConfig parameterizes the shared L3 + DRAM system (Table 2).
+type MemSysConfig struct {
+	BankSizeBytes int         // 1 MB per bank
+	BankWays      int         // 16
+	L3HitLatency  engine.Time // 20 cycles
+	BankOccupancy engine.Time // per-access bank busy time (pipelined)
+	DRAMLatency   engine.Time // access latency at 2GHz (~50ns)
+	DRAMServe     engine.Time // per-line channel serialization (bandwidth)
+}
+
+// DefaultMemSysConfig mirrors Table 2: 64MB total L3 across 64 banks,
+// DDR4-3200 with 25.6 GB/s across 4 channels at a 2GHz core clock.
+func DefaultMemSysConfig() MemSysConfig {
+	return MemSysConfig{
+		BankSizeBytes: 1 << 20,
+		BankWays:      16,
+		L3HitLatency:  20,
+		BankOccupancy: 1,
+		DRAMLatency:   100,
+		DRAMServe:     20, // 64B at ~3.2 B/cycle per channel
+	}
+}
+
+// MemSystem composes the banked L3 with the DRAM channels behind it and
+// routes miss traffic over the NoC. All timing flows through it so bank
+// queueing and DRAM bandwidth are shared by every requester.
+type MemSystem struct {
+	cfg   MemSysConfig
+	space *memsim.Space
+	net   *noc.Network
+	banks []*SetAssoc
+	// bankSrv schedules each bank's pipelined access port.
+	bankSrv []*engine.Server
+	// ctrls and dramSrv model the memory controllers at the corners.
+	ctrls   []int
+	dramSrv []*engine.Server
+	// nearestCtrl caches the closest controller per bank.
+	nearestCtrl []int
+
+	DRAMReads  uint64
+	DRAMWrites uint64
+}
+
+// NewMemSystem wires banks, controllers and DRAM channels over the mesh.
+func NewMemSystem(space *memsim.Space, net *noc.Network, cfg MemSysConfig) (*MemSystem, error) {
+	nbanks := space.Banks()
+	if nbanks != net.Mesh().Banks() {
+		return nil, fmt.Errorf("cache: space has %d banks but mesh has %d", nbanks, net.Mesh().Banks())
+	}
+	m := &MemSystem{
+		cfg:         cfg,
+		space:       space,
+		net:         net,
+		banks:       make([]*SetAssoc, nbanks),
+		bankSrv:     make([]*engine.Server, nbanks),
+		ctrls:       net.Mesh().MemControllers(),
+		nearestCtrl: make([]int, nbanks),
+	}
+	m.dramSrv = make([]*engine.Server, len(m.ctrls))
+	for i := range m.dramSrv {
+		m.dramSrv[i] = engine.NewServer(1, 16, 4096)
+	}
+	for i := range m.banks {
+		m.bankSrv[i] = engine.NewServer(1, 8, 4096)
+		bank, err := NewSetAssoc(cfg.BankSizeBytes, cfg.BankWays, BRRIP)
+		if err != nil {
+			return nil, err
+		}
+		m.banks[i] = bank
+		ctrl, _ := net.Mesh().NearestMemController(i)
+		for ci, c := range m.ctrls {
+			if c == ctrl {
+				m.nearestCtrl[i] = ci
+			}
+		}
+	}
+	return m, nil
+}
+
+// Space returns the simulated address space.
+func (m *MemSystem) Space() *memsim.Space { return m.space }
+
+// Net returns the interconnect.
+func (m *MemSystem) Net() *noc.Network { return m.net }
+
+// Banks returns the number of L3 banks.
+func (m *MemSystem) Banks() int { return len(m.banks) }
+
+// Bank exposes one bank's tag array (for stats).
+func (m *MemSystem) Bank(i int) *SetAssoc { return m.banks[i] }
+
+// BankOf returns the home L3 bank of the line containing va.
+func (m *MemSystem) BankOf(va memsim.Addr) int {
+	return m.space.MustBank(memsim.LineAddr(va))
+}
+
+// Access performs an L3 access to the line containing va at its home
+// bank, starting no earlier than cycle now. It models bank queueing and,
+// on a miss, the round trip to the nearest DRAM channel (with its traffic
+// charged to the NoC). It returns the completion cycle and whether the
+// access hit in the bank.
+func (m *MemSystem) Access(now engine.Time, va memsim.Addr, write bool) (done engine.Time, hit bool) {
+	bank := m.BankOf(va)
+	return m.AccessAt(now, bank, va, write)
+}
+
+// AccessAt is Access for callers that already resolved the home bank.
+func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bool) (done engine.Time, hit bool) {
+	line := uint64(memsim.Line(va))
+	start := m.bankSrv[bank].Reserve(now, int(m.cfg.BankOccupancy))
+
+	hit, victim, dirtyVictim := m.banks[bank].Access(line, write)
+	done = start + m.cfg.L3HitLatency
+	if hit {
+		return done, true
+	}
+
+	// Miss: request line from the nearest DRAM channel.
+	ci := m.nearestCtrl[bank]
+	ctrl := m.ctrls[ci]
+	reqArrive := m.net.Send(done, bank, ctrl, noc.Control, 8)
+	dramStart := m.dramSrv[ci].Reserve(reqArrive, int(m.cfg.DRAMServe))
+	m.DRAMReads++
+	dataReady := dramStart + m.cfg.DRAMLatency
+	respArrive := m.net.Send(dataReady, ctrl, bank, noc.Data, memsim.LineSize)
+
+	if dirtyVictim {
+		// Write the victim back lazily; it occupies the channel but does
+		// not delay the demand fill's critical path.
+		wbArrive := m.net.Send(done, bank, ctrl, noc.Data, memsim.LineSize)
+		m.dramSrv[ci].Reserve(wbArrive, int(m.cfg.DRAMServe))
+		m.DRAMWrites++
+		_ = victim
+	}
+	return respArrive, false
+}
+
+// Preload installs every line of [va, va+bytes) into its home bank
+// without charging time, traffic, or statistics — modeling data resident
+// in the LLC after initialization, which is the paper's measurement
+// regime (Fig 15 studies what happens when it no longer fits).
+func (m *MemSystem) Preload(va memsim.Addr, bytes int64) {
+	end := va + memsim.Addr(bytes)
+	for line := memsim.LineAddr(va); line < end; line += memsim.LineSize {
+		bank := m.BankOf(line)
+		m.banks[bank].Install(uint64(memsim.Line(line)))
+	}
+}
+
+// TotalL3Stats sums access/hit/miss counters across banks.
+func (m *MemSystem) TotalL3Stats() (accesses, hits, misses uint64) {
+	for _, b := range m.banks {
+		accesses += b.Accesses
+		hits += b.Hits
+		misses += b.Misses
+	}
+	return accesses, hits, misses
+}
+
+// L3MissRate returns the aggregate L3 miss rate.
+func (m *MemSystem) L3MissRate() float64 {
+	a, _, miss := m.TotalL3Stats()
+	if a == 0 {
+		return 0
+	}
+	return float64(miss) / float64(a)
+}
+
+// ResetStats clears bank and DRAM counters but keeps cache contents.
+func (m *MemSystem) ResetStats() {
+	for _, b := range m.banks {
+		b.ResetStats()
+	}
+	m.DRAMReads, m.DRAMWrites = 0, 0
+}
+
+// MaxBankFree reports the latest bank schedule horizon — a debugging aid
+// for locating the binding resource.
+func (m *MemSystem) MaxBankFree() engine.Time {
+	var t engine.Time
+	for _, s := range m.bankSrv {
+		t = engine.MaxTime(t, s.Horizon())
+	}
+	return t
+}
+
+// MaxDRAMFree reports the latest DRAM schedule horizon.
+func (m *MemSystem) MaxDRAMFree() engine.Time {
+	var t engine.Time
+	for _, s := range m.dramSrv {
+		t = engine.MaxTime(t, s.Horizon())
+	}
+	return t
+}

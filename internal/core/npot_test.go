@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"affinityalloc/internal/memsim"
+	"affinityalloc/internal/topo"
+)
+
+func npotRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	cfg := memsim.DefaultConfig()
+	cfg.AllowNPOT = true
+	space := memsim.MustSpace(cfg)
+	mesh := topo.MustMesh(8, 8, topo.RowMajor)
+	return MustNew(space, mesh, DefaultPolicy(), 7)
+}
+
+// TestNPOTInterleaveEq1: a non-power-of-two pool still maps chunks to
+// banks by Eq. 1 (division instead of shift).
+func TestNPOTInterleaveEq1(t *testing.T) {
+	r := npotRuntime(t)
+	base, err := r.Space().ExpandPool(192, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 130; i++ {
+		va := base + memsim.Addr(i*192)
+		if got, want := r.BankOf(va), i%64; got != want {
+			t.Fatalf("chunk %d on bank %d, want %d", i, got, want)
+		}
+	}
+	// Intra-chunk addresses share the bank.
+	if r.BankOf(base+191) != r.BankOf(base) {
+		t.Error("192B chunk split across banks")
+	}
+}
+
+// TestNPOTAlignmentAvoidsPadding: aligning a 12B-element array to a
+// 4B-element array needs a 192B interleave; with the extension the
+// runtime uses it exactly, with no padding.
+func TestNPOTAlignmentAvoidsPadding(t *testing.T) {
+	r := npotRuntime(t)
+	a, err := r.AllocAffine(AffineSpec{ElemSize: 4, NumElem: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.AllocAffine(AffineSpec{ElemSize: 12, NumElem: 1 << 12, AlignTo: a.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Interleave != 192 {
+		t.Fatalf("interleave %d, want 192", b.Interleave)
+	}
+	if b.ElemStride != 12 {
+		t.Errorf("stride %d, want unpadded 12", b.ElemStride)
+	}
+	if r.Stats.PadBytes != 0 {
+		t.Errorf("padded %d bytes despite NPOT support", r.Stats.PadBytes)
+	}
+	for _, i := range []int64{0, 15, 16, 100, 4095} {
+		if r.BankOf(b.ElemAddr(i)) != r.BankOf(a.ElemAddr(i)) {
+			t.Fatalf("B[%d] on bank %d, A[%d] on bank %d",
+				i, r.BankOf(b.ElemAddr(i)), i, r.BankOf(a.ElemAddr(i)))
+		}
+	}
+}
+
+// TestNPOTDisabledFallsBackToPadding: without the extension the same
+// request pads (the paper's behavior).
+func TestNPOTDisabledFallsBackToPadding(t *testing.T) {
+	space := memsim.MustSpace(memsim.DefaultConfig())
+	mesh := topo.MustMesh(8, 8, topo.RowMajor)
+	r := MustNew(space, mesh, DefaultPolicy(), 7)
+	a, err := r.AllocAffine(AffineSpec{ElemSize: 4, NumElem: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.AllocAffine(AffineSpec{ElemSize: 12, NumElem: 1 << 12, AlignTo: a.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Interleave == 0 {
+		t.Skip("runtime chose baseline fallback")
+	}
+	if b.ElemStride <= 12 {
+		t.Errorf("expected padded stride without NPOT, got %d", b.ElemStride)
+	}
+	// Alignment must still hold through the padding.
+	for _, i := range []int64{0, 100, 4095} {
+		if r.BankOf(b.ElemAddr(i)) != r.BankOf(a.ElemAddr(i)) {
+			t.Fatalf("padded alignment broken at %d", i)
+		}
+	}
+	if r.Stats.PadBytes == 0 {
+		t.Error("padding not recorded")
+	}
+}
+
+// TestNPOTIrregularChunks: irregular allocations can use NPOT chunk
+// sizes, eliminating internal fragmentation for e.g. 24B nodes packed
+// at 192B (8 nodes) granularity... the API still rounds per-object to a
+// whole placement unit; what NPOT buys is more size choices.
+func TestNPOTIrregularChunks(t *testing.T) {
+	r := npotRuntime(t)
+	addr, err := r.AllocAtBank(192, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounded to the next supported chunk: with NPOT that is 192 + pad to
+	// pow2? AllocAtBank rounds pow2; direct pool use works regardless.
+	_ = addr
+	if got := r.BankOf(addr); got != 9 {
+		t.Errorf("chunk on bank %d, want 9", got)
+	}
+}

@@ -1,0 +1,179 @@
+package cpu
+
+import (
+	"testing"
+
+	"affinityalloc/internal/cache"
+	"affinityalloc/internal/memsim"
+	"affinityalloc/internal/noc"
+	"affinityalloc/internal/topo"
+)
+
+func newTestCore(t *testing.T, id int) (*Core, *cache.MemSystem, *memsim.Space) {
+	t.Helper()
+	space := memsim.MustSpace(memsim.DefaultConfig())
+	mesh := topo.MustMesh(8, 8, topo.RowMajor)
+	net := noc.New(mesh, noc.DefaultConfig())
+	mem, err := cache.NewMemSystem(space, net, cache.DefaultMemSysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coh := NewCoherence()
+	c, err := NewCore(id, mem, coh, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, mem, space
+}
+
+func heapRegion(t *testing.T, space *memsim.Space, bytes int64) memsim.Addr {
+	t.Helper()
+	base, err := space.HeapBrk(memsim.Addr(bytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestLoadHierarchy(t *testing.T) {
+	c, mem, space := newTestCore(t, 0)
+	base := heapRegion(t, space, 1<<16)
+	mem.Preload(base, 1<<16)
+
+	// First load: L1 and L2 miss, L3 hit.
+	t1 := c.Load(base, Dependent)
+	if t1 < 20 {
+		t.Errorf("first load done at %d, want full L3 round trip", t1)
+	}
+	// Second load to the same line: L1 hit.
+	now := c.Now()
+	t2 := c.Load(base+8, Dependent)
+	if t2-now > 4 {
+		t.Errorf("L1 hit took %d cycles", t2-now)
+	}
+	if c.Loads != 2 {
+		t.Errorf("load count %d", c.Loads)
+	}
+	if c.L1().Hits != 1 {
+		t.Errorf("L1 hits %d", c.L1().Hits)
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	c, mem, space := newTestCore(t, 0)
+	base := heapRegion(t, space, 1<<20)
+	mem.Preload(base, 1<<20)
+	// Chase distinct lines far apart: each must pay the full trip.
+	var prev, cur uint64
+	for i := 0; i < 8; i++ {
+		cur = uint64(c.Load(base+memsim.Addr(i*4096), Dependent))
+		if i > 0 && cur-prev < 20 {
+			t.Fatalf("dependent load %d overlapped (Δ%d)", i, cur-prev)
+		}
+		prev = cur
+	}
+}
+
+func TestStreamingLoadsOverlap(t *testing.T) {
+	c, mem, space := newTestCore(t, 0)
+	base := heapRegion(t, space, 1<<20)
+	mem.Preload(base, 1<<20)
+	for i := 0; i < 64; i++ {
+		c.Load(base+memsim.Addr(i*4096), Streaming)
+	}
+	// 64 distinct-line streaming loads overlap via the prefetch pool:
+	// issue front advances ~1/load, drain fills in the background.
+	if c.Now() > 100 {
+		t.Errorf("issue front at %d after 64 streaming loads, want ~64", c.Now())
+	}
+	if c.Drained() < c.Now() {
+		t.Error("drain before issue front")
+	}
+}
+
+func TestAtomicCoherenceTransfer(t *testing.T) {
+	space := memsim.MustSpace(memsim.DefaultConfig())
+	mesh := topo.MustMesh(8, 8, topo.RowMajor)
+	net := noc.New(mesh, noc.DefaultConfig())
+	mem, err := cache.NewMemSystem(space, net, cache.DefaultMemSysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coh := NewCoherence()
+	c0, _ := NewCore(0, mem, coh, DefaultConfig())
+	c63, _ := NewCore(63, mem, coh, DefaultConfig())
+	base := heapRegion(t, space, 1<<12)
+	mem.Preload(base, 1<<12)
+
+	c0.Atomic(base)
+	if coh.Transfers != 0 {
+		t.Errorf("first atomic transferred ownership: %d", coh.Transfers)
+	}
+	// Re-atomics by the same core stay local.
+	before := c0.Now()
+	c0.Atomic(base)
+	if c0.Now()-before > 30 {
+		t.Errorf("owned re-atomic took %d cycles", c0.Now()-before)
+	}
+	// A different core must pay the coherence round trip.
+	start := c63.Now()
+	c63.Atomic(base)
+	if coh.Transfers != 1 {
+		t.Errorf("transfers %d, want 1", coh.Transfers)
+	}
+	if c63.Now()-start < 20 {
+		t.Errorf("contended atomic took only %d cycles", c63.Now()-start)
+	}
+	if c63.Atomics != 1 {
+		t.Errorf("atomic count %d", c63.Atomics)
+	}
+}
+
+func TestComputeAdvancesIssueWidth(t *testing.T) {
+	c, _, _ := newTestCore(t, 0)
+	c.Compute(16) // 16 ops over 8-wide issue = 2 cycles
+	if c.Now() != 2 {
+		t.Errorf("Now = %d after 16 scalar ops, want 2", c.Now())
+	}
+	c.ComputeSIMD(64) // 64 elems over 16 lanes = 4 ops
+	if c.Now() != 6 {
+		t.Errorf("Now = %d after SIMD, want 6", c.Now())
+	}
+	if c.ALUOps != 16 || c.SIMDOps != 4 {
+		t.Errorf("op counts %d/%d", c.ALUOps, c.SIMDOps)
+	}
+	c.Compute(0)
+	if c.Now() != 6 {
+		t.Error("zero-op compute advanced time")
+	}
+}
+
+func TestSetNowForwardOnly(t *testing.T) {
+	c, _, _ := newTestCore(t, 0)
+	c.SetNow(100)
+	c.SetNow(50)
+	if c.Now() != 100 {
+		t.Errorf("Now = %d, want 100", c.Now())
+	}
+	if c.Drained() < 100 {
+		t.Error("Drained below Now")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	c, mem, space := newTestCore(t, 0)
+	base := heapRegion(t, space, 1<<22)
+	mem.Preload(base, 1<<22)
+	// Write far more lines than L2 holds; dirty victims must reach L3.
+	for i := 0; i < 3*4096; i++ {
+		c.Store(base+memsim.Addr(i*64), Streaming)
+	}
+	if c.Stores != 3*4096 {
+		t.Errorf("stores %d", c.Stores)
+	}
+	acc, _, _ := mem.TotalL3Stats()
+	// Every line missed L2 once (fill) and most dirty lines wrote back.
+	if acc < 4*4096 {
+		t.Errorf("only %d L3 accesses — writebacks missing", acc)
+	}
+}

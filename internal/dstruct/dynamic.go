@@ -1,0 +1,239 @@
+package dstruct
+
+import (
+	"fmt"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/memsim"
+)
+
+// This file implements the §8 extension: dynamic linked CSR. The paper
+// leaves evolving graphs as future work but observes that pointer-based
+// formats like linked CSR "can naturally benefit from the improved
+// spatial locality from affinity alloc without extra preprocessing" —
+// inserting an edge is appending to (or allocating near) the right
+// chain, and deleting is an in-node compaction.
+//
+// After any mutation the Go-side mirror and the simulated memory are
+// kept in lockstep; VerifyDynamic checks them against a reference edge
+// multiset.
+
+// edgeCap returns the node's edge capacity.
+func (lc *LinkedCSR) edgeCap() int {
+	if lc.weighted {
+		return (lc.NodeBytes() - 8) / 8
+	}
+	return (lc.NodeBytes() - 8) / 4
+}
+
+// edgeStride returns bytes per edge slot.
+func (lc *LinkedCSR) edgeStride() memsim.Addr {
+	if lc.weighted {
+		return 8
+	}
+	return 4
+}
+
+// writeEdgeSlot materializes edge k of the node at addr.
+func (lc *LinkedCSR) writeEdgeSlot(sp *memsim.Space, addr memsim.Addr, k int, v, weight int32) {
+	off := addr + 8 + memsim.Addr(k)*lc.edgeStride()
+	sp.WriteU32(off, uint32(v))
+	if lc.weighted {
+		sp.WriteU32(off+4, uint32(weight))
+	}
+}
+
+// clearEdgeSlot writes the -1 terminator into slot k.
+func (lc *LinkedCSR) clearEdgeSlot(sp *memsim.Space, addr memsim.Addr, k int) {
+	off := addr + 8 + memsim.Addr(k)*lc.edgeStride()
+	sp.WriteU32(off, ^uint32(0))
+}
+
+// ownNode gives node its own edge storage (the builder shares slices
+// with the original CSR arrays; mutation must not corrupt them).
+func (n *CSRNode) ownNode(weighted bool, cap int) {
+	if n.owned {
+		return
+	}
+	edges := make([]int32, len(n.Edges), cap)
+	copy(edges, n.Edges)
+	n.Edges = edges
+	if weighted {
+		weights := make([]int32, len(n.Weights), cap)
+		copy(weights, n.Weights)
+		n.Weights = weights
+	}
+	n.owned = true
+}
+
+// InsertEdge adds edge u→v. If u's tail node has room the edge is
+// appended in place; otherwise a fresh node is allocated with affinity
+// to prop[v] (exactly the allocation the static builder performs) and
+// linked at the tail. The alloc must be the one the structure was built
+// with.
+func (lc *LinkedCSR) InsertEdge(alloc Alloc, prop *core.ArrayInfo, u, v, weight int32) error {
+	if u < 0 || u >= lc.G.N || v < 0 || v >= lc.G.N {
+		return fmt.Errorf("dstruct: edge %d->%d out of range", u, v)
+	}
+	sp := alloc.Space()
+	cap := lc.edgeCap()
+	chain := lc.Chains[u]
+
+	if len(chain) > 0 {
+		tail := &lc.Chains[u][len(chain)-1]
+		if len(tail.Edges) < cap {
+			tail.ownNode(lc.weighted, cap)
+			lc.writeEdgeSlot(sp, tail.Addr, len(tail.Edges), v, weight)
+			tail.Edges = append(tail.Edges, v)
+			if lc.weighted {
+				tail.Weights = append(tail.Weights, weight)
+			}
+			return nil
+		}
+	}
+
+	// Allocate a new tail node near the property entry its edge targets.
+	var hints []memsim.Addr
+	if alloc.Affinity && prop != nil {
+		hints = []memsim.Addr{prop.ElemAddr(int64(v))}
+	}
+	addr, err := alloc.Near(int64(lc.NodeBytes()), hints)
+	if err != nil {
+		return err
+	}
+	sp.WriteAddr(addr, 0)
+	lc.writeEdgeSlot(sp, addr, 0, v, weight)
+	for k := 1; k < cap; k++ {
+		lc.clearEdgeSlot(sp, addr, k)
+	}
+	node := CSRNode{Addr: addr, Edges: []int32{v}, owned: true}
+	if lc.weighted {
+		node.Weights = []int32{weight}
+	}
+	if len(chain) > 0 {
+		sp.WriteAddr(lc.Chains[u][len(chain)-1].Addr, addr)
+	} else {
+		lc.Heads[u] = addr
+	}
+	lc.Chains[u] = append(lc.Chains[u], node)
+	return nil
+}
+
+// DeleteEdge removes one u→v edge (the first found), compacting within
+// its node. A node left empty is unlinked and freed back to the
+// allocator, whose per-bank free lists make the space immediately
+// reusable with the same affinity. It reports whether an edge was
+// removed.
+func (lc *LinkedCSR) DeleteEdge(alloc Alloc, u, v int32) (bool, error) {
+	if u < 0 || u >= lc.G.N {
+		return false, fmt.Errorf("dstruct: vertex %d out of range", u)
+	}
+	sp := alloc.Space()
+	cap := lc.edgeCap()
+	chain := lc.Chains[u]
+	for ni := range chain {
+		node := &lc.Chains[u][ni]
+		for k, e := range node.Edges {
+			if e != v {
+				continue
+			}
+			node.ownNode(lc.weighted, cap)
+			last := len(node.Edges) - 1
+			// Swap-remove within the node, in memory and mirror.
+			if k != last {
+				w := int32(0)
+				if lc.weighted {
+					w = node.Weights[last]
+					node.Weights[k] = w
+				}
+				node.Edges[k] = node.Edges[last]
+				lc.writeEdgeSlot(sp, node.Addr, k, node.Edges[last], w)
+			}
+			lc.clearEdgeSlot(sp, node.Addr, last)
+			node.Edges = node.Edges[:last]
+			if lc.weighted {
+				node.Weights = node.Weights[:last]
+			}
+			if len(node.Edges) == 0 {
+				if err := lc.unlinkNode(alloc, u, ni); err != nil {
+					return false, err
+				}
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// unlinkNode removes chain node ni of vertex u and frees its storage.
+func (lc *LinkedCSR) unlinkNode(alloc Alloc, u int32, ni int) error {
+	sp := alloc.Space()
+	chain := lc.Chains[u]
+	node := chain[ni]
+	nextAddr := memsim.Addr(0)
+	if ni+1 < len(chain) {
+		nextAddr = chain[ni+1].Addr
+	}
+	if ni == 0 {
+		lc.Heads[u] = nextAddr
+	} else {
+		sp.WriteAddr(chain[ni-1].Addr, nextAddr)
+	}
+	lc.Chains[u] = append(chain[:ni], chain[ni+1:]...)
+	if alloc.Affinity {
+		return alloc.RT.Free(node.Addr)
+	}
+	// Baseline allocations are not individually reclaimable here; the
+	// space is simply abandoned (as a bump-allocated heap would).
+	return nil
+}
+
+// DynamicEdges returns vertex u's current edge list (mirror view; do not
+// modify).
+func (lc *LinkedCSR) DynamicEdges(u int32) []int32 {
+	var out []int32
+	for _, n := range lc.Chains[u] {
+		out = append(out, n.Edges...)
+	}
+	return out
+}
+
+// DynamicDegree returns u's current degree.
+func (lc *LinkedCSR) DynamicDegree(u int32) int {
+	d := 0
+	for _, n := range lc.Chains[u] {
+		d += len(n.Edges)
+	}
+	return d
+}
+
+// VerifyDynamic checks mirror and simulated memory agree for vertex u
+// and returns its in-memory edge list.
+func (lc *LinkedCSR) VerifyDynamic(sp *memsim.Space, u int32) ([]int32, error) {
+	cap := lc.edgeCap()
+	stride := lc.edgeStride()
+	var fromMem []int32
+	addr := lc.Heads[u]
+	for addr != 0 {
+		off := addr + 8
+		for i := 0; i < cap; i++ {
+			v := int32(sp.ReadU32(off))
+			if v == -1 {
+				break
+			}
+			fromMem = append(fromMem, v)
+			off += stride
+		}
+		addr = sp.ReadAddr(addr)
+	}
+	mirror := lc.DynamicEdges(u)
+	if len(fromMem) != len(mirror) {
+		return nil, fmt.Errorf("dstruct: vertex %d has %d edges in memory, %d in mirror", u, len(fromMem), len(mirror))
+	}
+	for i := range mirror {
+		if fromMem[i] != mirror[i] {
+			return nil, fmt.Errorf("dstruct: vertex %d edge %d: memory %d, mirror %d", u, i, fromMem[i], mirror[i])
+		}
+	}
+	return fromMem, nil
+}

@@ -1,0 +1,220 @@
+package dstruct
+
+import (
+	"fmt"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/memsim"
+)
+
+// SpatialPriorityQueue is the §4.2 MultiQueues-style structure: one
+// binary min-heap per partition, with each sub-heap's storage aligned to
+// the vertex partition it serves, so pushes from a bank's computation
+// stay local and heap rearrangement is local pointer-chasing the stream
+// engines support. Entries are (priority, value) pairs; PopMin over all
+// partitions relaxes global ordering exactly the way MultiQueues does.
+type SpatialPriorityQueue struct {
+	space   *memsim.Space
+	parts   int64
+	perPart int64
+	numElem int64
+	// data holds (priority int32, value int32) pairs, aligned to vInfo.
+	data  *core.ArrayInfo
+	sizes *core.ArrayInfo // one int64 heap size per partition
+}
+
+// NewSpatialPriorityQueue builds one sub-heap per partition of vInfo,
+// each with capacity slack times its vertex share.
+func NewSpatialPriorityQueue(rt *core.Runtime, vInfo *core.ArrayInfo, parts, slack int64) (*SpatialPriorityQueue, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("dstruct: invalid partition count %d", parts)
+	}
+	if slack < 1 {
+		slack = 1
+	}
+	n := vInfo.NumElem
+	vertsPerPart := (n + parts - 1) / parts
+	perPart := vertsPerPart * slack
+	data, err := rt.AllocAffine(core.AffineSpec{
+		ElemSize: 8, NumElem: parts * perPart,
+		AlignTo: vInfo.Base, AlignP: 1, AlignQ: int(slack),
+	})
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := rt.AllocAffine(core.AffineSpec{
+		ElemSize: 8, NumElem: parts,
+		AlignTo: vInfo.Base, AlignP: int(vertsPerPart), AlignQ: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	q := &SpatialPriorityQueue{
+		space:   rt.Space(),
+		parts:   parts,
+		perPart: perPart,
+		numElem: n,
+		data:    data,
+		sizes:   sizes,
+	}
+	q.Reset()
+	return q, nil
+}
+
+// Reset empties every sub-heap.
+func (q *SpatialPriorityQueue) Reset() {
+	for p := int64(0); p < q.parts; p++ {
+		q.space.WriteU64(q.sizes.ElemAddr(p), 0)
+	}
+}
+
+// Parts returns the partition count.
+func (q *SpatialPriorityQueue) Parts() int64 { return q.parts }
+
+// PartOf returns the partition owning value v.
+func (q *SpatialPriorityQueue) PartOf(v int32) int64 {
+	p := int64(v) * q.parts / q.numElem
+	if p >= q.parts {
+		p = q.parts - 1
+	}
+	return p
+}
+
+func (q *SpatialPriorityQueue) slotAddr(p, i int64) memsim.Addr {
+	return q.data.ElemAddr(p*q.perPart + i)
+}
+
+func (q *SpatialPriorityQueue) slot(p, i int64) (prio, value int32) {
+	a := q.slotAddr(p, i)
+	return int32(q.space.ReadU32(a)), int32(q.space.ReadU32(a + 4))
+}
+
+func (q *SpatialPriorityQueue) setSlot(p, i int64, prio, value int32) {
+	a := q.slotAddr(p, i)
+	q.space.WriteU32(a, uint32(prio))
+	q.space.WriteU32(a+4, uint32(value))
+}
+
+func (q *SpatialPriorityQueue) size(p int64) int64 {
+	return int64(q.space.ReadU64(q.sizes.ElemAddr(p)))
+}
+
+func (q *SpatialPriorityQueue) setSize(p, n int64) {
+	q.space.WriteU64(q.sizes.ElemAddr(p), uint64(n))
+}
+
+// Len returns the total entry count across partitions.
+func (q *SpatialPriorityQueue) Len() int64 {
+	var total int64
+	for p := int64(0); p < q.parts; p++ {
+		total += q.size(p)
+	}
+	return total
+}
+
+// Push inserts (prio, v) into v's partition heap and returns the number
+// of sift hops (heap levels touched) for timing replay — every touched
+// slot is on the partition's own bank.
+func (q *SpatialPriorityQueue) Push(v, prio int32) (siftHops int, err error) {
+	p := q.PartOf(v)
+	n := q.size(p)
+	if n >= q.perPart {
+		return 0, fmt.Errorf("dstruct: priority sub-queue %d overflow (%d)", p, q.perPart)
+	}
+	q.setSlot(p, n, prio, v)
+	i := n
+	for i > 0 {
+		parent := (i - 1) / 2
+		pp, pv := q.slot(p, parent)
+		cp, cv := q.slot(p, i)
+		if pp <= cp {
+			break
+		}
+		q.setSlot(p, parent, cp, cv)
+		q.setSlot(p, i, pp, pv)
+		i = parent
+		siftHops++
+	}
+	q.setSize(p, n+1)
+	return siftHops, nil
+}
+
+// PopMinPart removes the minimum of partition p's heap, returning the
+// entry and the sift hops. ok is false when the sub-heap is empty.
+func (q *SpatialPriorityQueue) PopMinPart(p int64) (value, prio int32, siftHops int, ok bool) {
+	n := q.size(p)
+	if n == 0 {
+		return 0, 0, 0, false
+	}
+	prio, value = q.slot(p, 0)
+	lp, lv := q.slot(p, n-1)
+	q.setSlot(p, 0, lp, lv)
+	q.setSize(p, n-1)
+	n--
+	i := int64(0)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		mp, _ := q.slot(p, min)
+		if l < n {
+			if cp, _ := q.slot(p, l); cp < mp {
+				min, mp = l, cp
+			}
+		}
+		if r < n {
+			if cp, _ := q.slot(p, r); cp < mp {
+				min = r
+			}
+		}
+		if min == i {
+			break
+		}
+		ip, iv := q.slot(p, i)
+		np, nv := q.slot(p, min)
+		q.setSlot(p, i, np, nv)
+		q.setSlot(p, min, ip, iv)
+		i = min
+		siftHops++
+	}
+	return value, prio, siftHops, true
+}
+
+// PopMin removes an entry with a near-minimal priority: it compares the
+// heads of a deterministic pair of sub-heaps and pops the smaller — the
+// MultiQueues relaxation, which avoids a global ordering bottleneck at a
+// bounded rank error. probe selects the pair (callers pass a counter).
+func (q *SpatialPriorityQueue) PopMin(probe int64) (value, prio int32, siftHops int, ok bool) {
+	if q.parts == 1 {
+		return q.PopMinPart(0)
+	}
+	a := probe % q.parts
+	b := (probe*2654435761 + 1) % q.parts
+	pa, pb := q.size(a), q.size(b)
+	switch {
+	case pa == 0 && pb == 0:
+		// Fall back to a scan so emptiness is reliable.
+		for p := int64(0); p < q.parts; p++ {
+			if q.size(p) > 0 {
+				return q.PopMinPart(p)
+			}
+		}
+		return 0, 0, 0, false
+	case pa == 0:
+		return q.PopMinPart(b)
+	case pb == 0:
+		return q.PopMinPart(a)
+	}
+	ha, _ := q.slot(a, 0)
+	hb, _ := q.slot(b, 0)
+	if ha <= hb {
+		return q.PopMinPart(a)
+	}
+	return q.PopMinPart(b)
+}
+
+// HeadAddr returns the address of partition p's heap root (the slot a
+// computation at that bank touches first).
+func (q *SpatialPriorityQueue) HeadAddr(p int64) memsim.Addr { return q.slotAddr(p, 0) }
+
+// Info exposes the heap storage layout (for preloading).
+func (q *SpatialPriorityQueue) Info() *core.ArrayInfo { return q.data }

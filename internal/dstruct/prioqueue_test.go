@@ -1,0 +1,129 @@
+package dstruct
+
+import (
+	"math/rand"
+	"testing"
+
+	"affinityalloc/internal/core"
+)
+
+func newPQ(t *testing.T, n, parts, slack int64) (*SpatialPriorityQueue, Alloc, *core.ArrayInfo) {
+	t.Helper()
+	a := newAlloc(t, true, core.DefaultPolicy())
+	v, err := a.RT.AllocAffine(core.AffineSpec{ElemSize: 4, NumElem: n, Partition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewSpatialPriorityQueue(a.RT, v, parts, slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, a, v
+}
+
+func TestPrioQueueHeapOrderPerPartition(t *testing.T) {
+	q, _, _ := newPQ(t, 1<<12, 64, 2)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 4000; i++ {
+		if _, err := q.Push(int32(rng.Intn(1<<12)), int32(rng.Intn(1000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each partition pops in nondecreasing priority order.
+	for p := int64(0); p < q.Parts(); p++ {
+		prev := int32(-1 << 30)
+		for {
+			_, prio, _, ok := q.PopMinPart(p)
+			if !ok {
+				break
+			}
+			if prio < prev {
+				t.Fatalf("partition %d popped %d after %d", p, prio, prev)
+			}
+			prev = prio
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("len %d after draining", q.Len())
+	}
+}
+
+func TestPrioQueueRelaxedPopBounded(t *testing.T) {
+	q, _, _ := newPQ(t, 1<<12, 64, 2)
+	rng := rand.New(rand.NewSource(9))
+	n := 4000
+	for i := 0; i < n; i++ {
+		if _, err := q.Push(int32(rng.Intn(1<<12)), int32(rng.Intn(1000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The MultiQueues relaxation pops everything exactly once.
+	popped := 0
+	for probe := int64(0); ; probe++ {
+		_, _, _, ok := q.PopMin(probe)
+		if !ok {
+			break
+		}
+		popped++
+	}
+	if popped != n {
+		t.Errorf("popped %d, want %d", popped, n)
+	}
+}
+
+func TestPrioQueuePushLocality(t *testing.T) {
+	q, a, v := newPQ(t, 1<<14, 64, 1)
+	rng := rand.New(rand.NewSource(5))
+	local, total := 0, 1000
+	for i := 0; i < total; i++ {
+		val := int32(rng.Intn(1 << 14))
+		if _, err := q.Push(val, int32(i)); err != nil {
+			t.Fatal(err)
+		}
+		vb := a.RT.BankOf(v.ElemAddr(int64(val)))
+		if a.RT.BankOf(q.HeadAddr(q.PartOf(val))) == vb {
+			local++
+		}
+	}
+	if local < total*9/10 {
+		t.Errorf("only %d/%d pushes had a bank-local sub-heap", local, total)
+	}
+}
+
+func TestPrioQueueOverflowAndEmpty(t *testing.T) {
+	q, _, _ := newPQ(t, 64, 64, 1)
+	// Partition capacity 1 at slack 1.
+	if _, err := q.Push(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Push(0, 6); err == nil {
+		t.Error("overflow push succeeded")
+	}
+	if _, _, _, ok := q.PopMinPart(5); ok {
+		t.Error("pop from empty partition succeeded")
+	}
+	if _, _, _, ok := q.PopMin(0); !ok {
+		t.Error("PopMin missed the only entry")
+	}
+	if _, _, _, ok := q.PopMin(1); ok {
+		t.Error("PopMin on empty queue succeeded")
+	}
+}
+
+func TestPrioQueueSiftHopsLogarithmic(t *testing.T) {
+	q, _, _ := newPQ(t, 1<<10, 1, 64)
+	// Single partition: push decreasing priorities — worst-case sifts.
+	maxHops := 0
+	for i := 0; i < 1024; i++ {
+		hops, err := q.Push(0, int32(1024-i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hops > maxHops {
+			maxHops = hops
+		}
+	}
+	if maxHops > 11 {
+		t.Errorf("max sift hops %d for 1024 entries, want <= log2", maxHops)
+	}
+}

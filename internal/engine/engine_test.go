@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.At(10, func() { order = append(order, 11) }) // same time: schedule order
+	end := s.Run()
+	if end != 30 {
+		t.Errorf("final time %d, want 30", end)
+	}
+	want := []int{1, 11, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	s := New(1)
+	s.At(100, func() {
+		s.At(50, func() {
+			if s.Now() != 100 {
+				t.Errorf("past event ran at %d, want clamped to 100", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestAfterAndRunUntil(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.After(10, func() { fired++ })
+	s.After(20, func() { fired++ })
+	s.RunUntil(15)
+	if fired != 1 {
+		t.Errorf("fired %d events by t=15, want 1", fired)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending %d, want 1", s.Pending())
+	}
+	s.Run()
+	if fired != 2 {
+		t.Errorf("fired %d total, want 2", fired)
+	}
+}
+
+func TestAdvanceNeverRewinds(t *testing.T) {
+	s := New(1)
+	s.Advance(100)
+	s.Advance(50)
+	if s.Now() != 100 {
+		t.Errorf("Now = %d, want 100", s.Now())
+	}
+}
+
+func TestServerBackfillsIdleCapacity(t *testing.T) {
+	srv := NewServer(1, 1, 64)
+	// Reserve far in the future first.
+	late := srv.Reserve(50, 1)
+	if late != 50 {
+		t.Errorf("late reservation at %d, want 50", late)
+	}
+	// An earlier request must still get the idle capacity before it —
+	// the whole point versus a scalar busy-until.
+	early := srv.Reserve(10, 1)
+	if early != 10 {
+		t.Errorf("early reservation at %d, want 10 (no phantom queueing)", early)
+	}
+}
+
+func TestServerQueuesUnderOverload(t *testing.T) {
+	srv := NewServer(1, 1, 128)
+	// Saturate cycle 10: capacity is 1/cycle, so the k-th request waits
+	// about k cycles.
+	var last Time
+	for k := 0; k < 20; k++ {
+		last = srv.Reserve(10, 1)
+	}
+	if last < 25 || last > 40 {
+		t.Errorf("20th reservation at %d, want pushed to ~29", last)
+	}
+}
+
+func TestServerMultiUnitSpills(t *testing.T) {
+	srv := NewServer(1, 4, 64) // 4 units per bucket
+	start := srv.Reserve(0, 10)
+	if start != 0 {
+		t.Errorf("start %d, want 0", start)
+	}
+	// The 10 units filled buckets 0..2; a new request at 0 lands where
+	// capacity remains.
+	next := srv.Reserve(0, 4)
+	if next < 8 {
+		t.Errorf("next start %d, want >= 8 (first two buckets full)", next)
+	}
+}
+
+func TestServerWindowSlide(t *testing.T) {
+	srv := NewServer(1, 8, 16) // window covers 128 cycles
+	if got := srv.Reserve(0, 1); got != 0 {
+		t.Fatalf("first reservation at %d", got)
+	}
+	// Reserve far beyond the window: it must slide, not panic.
+	far := srv.Reserve(10_000, 1)
+	if far < 10_000 {
+		t.Errorf("far reservation at %d, want >= 10000", far)
+	}
+	// Requests older than the slid window clamp to its base.
+	old := srv.Reserve(0, 1)
+	if old == 0 {
+		t.Error("ancient reservation granted at 0 after window slid")
+	}
+}
+
+func TestServerCapacityProperty(t *testing.T) {
+	// Property: with capacity c/cycle, n same-time requests of 1 unit
+	// finish within about n/c cycles of the request time.
+	prop := func(nReq uint8, capacity uint8) bool {
+		n := int(nReq%50) + 1
+		c := int(capacity%4) + 1
+		srv := NewServer(c, 4, 256)
+		var last Time
+		for i := 0; i < n; i++ {
+			last = srv.Reserve(100, 1)
+		}
+		bound := Time(100 + n/c + 8)
+		return last <= bound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxTime(t *testing.T) {
+	if MaxTime(3, 5) != 5 || MaxTime(5, 3) != 5 {
+		t.Error("MaxTime wrong")
+	}
+	if MinTime(3, 5) != 3 || MinTime(5, 3) != 3 {
+		t.Error("MinTime wrong")
+	}
+}

@@ -1,0 +1,106 @@
+package engine
+
+// Server models a pipelined shared resource with fixed capacity per
+// cycle — an L3 bank port, a NoC link, a DRAM channel, a compute thread
+// pool. Capacity is tracked in coarse time buckets over a sliding window,
+// and a reservation takes the earliest available capacity at or after its
+// requested time.
+//
+// Unlike a scalar busy-until timestamp, this admits out-of-order
+// reservations: the simulator processes actors round-robin, so a request
+// with an early timestamp may be simulated after one with a late
+// timestamp, and it must still be able to claim the idle capacity in
+// between. A scalar would serialize them in simulation order and
+// propagate phantom queueing delays across the whole machine.
+type Server struct {
+	width     Time // cycles per bucket
+	perBucket int  // capacity units per bucket
+	ring      []int
+	base      Time // time of ring[0]
+}
+
+// NewServer builds a resource with unitsPerCycle capacity, bucketed at
+// width cycles, remembering windowBuckets of schedule.
+func NewServer(unitsPerCycle int, width Time, windowBuckets int) *Server {
+	if width < 1 {
+		width = 1
+	}
+	if windowBuckets < 4 {
+		windowBuckets = 4
+	}
+	return &Server{
+		width:     width,
+		perBucket: unitsPerCycle * int(width),
+		ring:      make([]int, windowBuckets),
+	}
+}
+
+// slide advances the window so bucket index b (relative to base) fits,
+// dropping the oldest schedule.
+func (s *Server) slide(b int) int {
+	n := len(s.ring)
+	// Keep the target at 3/4 of the window so there is room ahead.
+	shift := b - (3*n)/4
+	if shift <= 0 {
+		return b
+	}
+	if shift >= n {
+		for i := range s.ring {
+			s.ring[i] = 0
+		}
+	} else {
+		copy(s.ring, s.ring[shift:])
+		for i := n - shift; i < n; i++ {
+			s.ring[i] = 0
+		}
+	}
+	s.base += Time(shift) * s.width
+	return b - shift
+}
+
+// Reserve claims `units` of capacity at the earliest time >= at,
+// returning when service begins. Units spill into later buckets when a
+// bucket fills, modeling queueing under sustained overload.
+func (s *Server) Reserve(at Time, units int) Time {
+	if units <= 0 {
+		return at
+	}
+	if at < s.base {
+		at = s.base // older than the window: clamp (the past is full)
+	}
+	b := int((at - s.base) / s.width)
+	if b >= len(s.ring) {
+		b = s.slide(b)
+	}
+	start := Time(0)
+	first := true
+	for units > 0 {
+		if b >= len(s.ring) {
+			b = s.slide(b)
+		}
+		free := s.perBucket - s.ring[b]
+		if free > 0 {
+			take := free
+			if take > units {
+				take = units
+			}
+			s.ring[b] += take
+			units -= take
+			if first {
+				first = false
+				start = s.base + Time(b)*s.width
+				if at > start {
+					start = at
+				}
+			}
+		}
+		b++
+	}
+	return start
+}
+
+// Horizon returns the end of the currently remembered schedule — a
+// debugging aid.
+func (s *Server) Horizon() Time {
+	return s.base + Time(len(s.ring))*s.width
+}

@@ -1,0 +1,294 @@
+package graph
+
+// This file holds functional (un-timed) reference implementations of the
+// evaluation's graph algorithms. The simulated workloads replay the same
+// traversals with timing attached; tests check both agree.
+
+// Direction is a BFS traversal direction.
+type Direction int
+
+const (
+	// Push propagates from the frontier to out-neighbors (top-down).
+	Push Direction = iota
+	// Pull has unvisited vertices query in-neighbors (bottom-up).
+	Pull
+)
+
+func (d Direction) String() string {
+	if d == Push {
+		return "push"
+	}
+	return "pull"
+}
+
+// IterStats captures one BFS iteration's characteristics (Fig 17).
+type IterStats struct {
+	Iter       int
+	Dir        Direction
+	Active     int64 // vertices visited during this iteration
+	Visited    int64 // cumulative visited after this iteration
+	ScoutEdges int64 // out-edges of this iteration's active vertices
+}
+
+// StepState feeds a direction policy before each iteration.
+type StepState struct {
+	VisitedFrac float64 // visited vertices / N, before the iteration
+	ScoutFrac   float64 // frontier out-edges / total edges
+	AwakeFrac   float64 // frontier vertices / N
+}
+
+// DirectionPolicy decides each BFS iteration's direction.
+type DirectionPolicy interface {
+	Decide(cur Direction, st StepState) Direction
+	Name() string
+}
+
+// PushOnly always pushes.
+type PushOnly struct{}
+
+// Decide implements DirectionPolicy.
+func (PushOnly) Decide(Direction, StepState) Direction { return Push }
+
+// Name implements DirectionPolicy.
+func (PushOnly) Name() string { return "push" }
+
+// PullOnly always pulls.
+type PullOnly struct{}
+
+// Decide implements DirectionPolicy.
+func (PullOnly) Decide(Direction, StepState) Direction { return Pull }
+
+// Name implements DirectionPolicy.
+func (PullOnly) Name() string { return "pull" }
+
+// GAPPolicy is the direction-optimizing heuristic of Beamer et al. [12]
+// as shipped in the GAP suite: switch to pull when the frontier's scout
+// edges exceed |E|/Alpha, back to push when the frontier shrinks below
+// N/Beta.
+type GAPPolicy struct {
+	Alpha, Beta float64
+}
+
+// DefaultGAPPolicy returns GAP's alpha=15, beta=18.
+func DefaultGAPPolicy() GAPPolicy { return GAPPolicy{Alpha: 15, Beta: 18} }
+
+// Decide implements DirectionPolicy.
+func (p GAPPolicy) Decide(cur Direction, st StepState) Direction {
+	switch cur {
+	case Push:
+		if st.ScoutFrac > 1/p.Alpha {
+			return Pull
+		}
+	case Pull:
+		if st.AwakeFrac < 1/p.Beta {
+			return Push
+		}
+	}
+	return cur
+}
+
+// Name implements DirectionPolicy.
+func (p GAPPolicy) Name() string { return "gap-switch" }
+
+// PaperPolicy is the extended switching policy of §7.2, which accounts
+// for cheap in-place NDC atomics by requiring both a large visited
+// fraction (many failed CASes expected) and a large scout-edge fraction
+// before abandoning push:
+//
+//	Push → Pull: Visited > 40% and Scout > 6%.
+//	Pull → Push: Awake < 25%.
+type PaperPolicy struct {
+	VisitedThresh, ScoutThresh, AwakeThresh float64
+}
+
+// DefaultPaperPolicy returns the published thresholds.
+func DefaultPaperPolicy() PaperPolicy {
+	return PaperPolicy{VisitedThresh: 0.40, ScoutThresh: 0.06, AwakeThresh: 0.25}
+}
+
+// Decide implements DirectionPolicy.
+func (p PaperPolicy) Decide(cur Direction, st StepState) Direction {
+	switch cur {
+	case Push:
+		if st.VisitedFrac > p.VisitedThresh && st.ScoutFrac > p.ScoutThresh {
+			return Pull
+		}
+	case Pull:
+		if st.AwakeFrac < p.AwakeThresh {
+			return Push
+		}
+	}
+	return cur
+}
+
+// Name implements DirectionPolicy.
+func (p PaperPolicy) Name() string { return "ndc-switch" }
+
+// BFSResult holds a traversal's outcome. Parent assignment can differ
+// between directions (any in-frontier neighbor is a valid parent), but
+// Level — the iteration a vertex was first reached — is
+// direction-independent and is what cross-configuration checksums use.
+type BFSResult struct {
+	Parent []int32 // -1 for unreached; src's parent is src
+	Level  []int32 // -1 for unreached; src is 0
+	Iters  []IterStats
+}
+
+// BFS runs a level-synchronous BFS from src under the given direction
+// policy. gT must be g's transpose when the policy can choose Pull (pass
+// nil for PushOnly).
+func BFS(g, gT *Graph, src int32, policy DirectionPolicy) BFSResult {
+	parent := make([]int32, g.N)
+	level := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+		level[i] = -1
+	}
+	parent[src] = src
+	level[src] = 0
+	frontier := []int32{src}
+	visited := int64(1)
+	totalEdges := float64(len(g.Edges))
+	dir := Push
+	var iters []IterStats
+
+	for iter := 0; len(frontier) > 0; iter++ {
+		var scout int64
+		for _, u := range frontier {
+			scout += g.Degree(u)
+		}
+		st := StepState{
+			VisitedFrac: float64(visited) / float64(g.N),
+			ScoutFrac:   float64(scout) / max1(totalEdges),
+			AwakeFrac:   float64(len(frontier)) / float64(g.N),
+		}
+		dir = policy.Decide(dir, st)
+
+		var next []int32
+		if dir == Push {
+			for _, u := range frontier {
+				for _, v := range g.OutEdges(u) {
+					if parent[v] == -1 {
+						parent[v] = u
+						next = append(next, v)
+					}
+				}
+			}
+		} else {
+			inFrontier := make([]bool, g.N)
+			for _, u := range frontier {
+				inFrontier[u] = true
+			}
+			for v := int32(0); v < g.N; v++ {
+				if parent[v] != -1 {
+					continue
+				}
+				for _, u := range gT.OutEdges(v) {
+					if inFrontier[u] {
+						parent[v] = u
+						next = append(next, v)
+						break
+					}
+				}
+			}
+		}
+		for _, v := range next {
+			level[v] = int32(iter) + 1
+		}
+		visited += int64(len(next))
+		iters = append(iters, IterStats{
+			Iter:       iter,
+			Dir:        dir,
+			Active:     int64(len(next)),
+			Visited:    visited,
+			ScoutEdges: scout,
+		})
+		frontier = next
+	}
+	return BFSResult{Parent: parent, Level: level, Iters: iters}
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// PageRank runs `iters` synchronous PageRank iterations and returns the
+// scores. Push and pull orderings produce identical results; this is the
+// shared reference.
+func PageRank(g *Graph, iters int, damping float64) []float64 {
+	n := int(g.N)
+	scores := make([]float64, n)
+	next := make([]float64, n)
+	for i := range scores {
+		scores[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for u := int32(0); u < g.N; u++ {
+			deg := g.Degree(u)
+			if deg == 0 {
+				continue
+			}
+			contrib := scores[u] / float64(deg)
+			for _, v := range g.OutEdges(u) {
+				next[v] += contrib
+			}
+		}
+		for i := range next {
+			next[i] = base + damping*next[i]
+		}
+		scores, next = next, scores
+	}
+	return scores
+}
+
+// SSSPResult holds shortest-path distances and per-round frontier sizes.
+type SSSPResult struct {
+	Dist   []int64 // -1 (as math.MaxInt64 sentinel replaced) for unreachable
+	Rounds []int64 // frontier size per relaxation round
+}
+
+// InfDist marks unreachable vertices.
+const InfDist = int64(1) << 62
+
+// SSSP runs frontier-based Bellman-Ford (the relaxation pattern the
+// simulated sssp workload replays) from src using g.Weights.
+func SSSP(g *Graph, src int32) SSSPResult {
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	dist[src] = 0
+	frontier := []int32{src}
+	inNext := make([]bool, g.N)
+	var rounds []int64
+	for len(frontier) > 0 {
+		rounds = append(rounds, int64(len(frontier)))
+		var next []int32
+		for _, u := range frontier {
+			du := dist[u]
+			for i := g.Index[u]; i < g.Index[u+1]; i++ {
+				v := g.Edges[i]
+				nd := du + int64(g.Weights[i])
+				if nd < dist[v] {
+					dist[v] = nd
+					if !inNext[v] {
+						inNext[v] = true
+						next = append(next, v)
+					}
+				}
+			}
+		}
+		for _, v := range next {
+			inNext[v] = false
+		}
+		frontier = next
+	}
+	return SSSPResult{Dist: dist, Rounds: rounds}
+}

@@ -1,0 +1,210 @@
+// Package graph provides the graph substrate of the evaluation: CSR
+// storage, the Kronecker (R-MAT) and power-law generators behind Table 3,
+// Table 4 and Fig 19, transposition for pull-direction algorithms, and
+// reference (functional) implementations of BFS, PageRank, and SSSP used
+// to validate the simulated runs.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a directed graph in compressed sparse row form. Index has N+1
+// entries; the out-edges of u are Edges[Index[u]:Index[u+1]]. Weights is
+// parallel to Edges when non-nil.
+type Graph struct {
+	N       int32
+	Index   []int64
+	Edges   []int32
+	Weights []int32
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int64 { return int64(len(g.Edges)) }
+
+// Degree returns vertex u's out-degree.
+func (g *Graph) Degree(u int32) int64 { return g.Index[u+1] - g.Index[u] }
+
+// OutEdges returns u's out-edge slice (do not modify).
+func (g *Graph) OutEdges(u int32) []int32 {
+	return g.Edges[g.Index[u]:g.Index[u+1]]
+}
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(len(g.Edges)) / float64(g.N)
+}
+
+// fromEdgeList builds a CSR from (src, dst) pairs, sorting edges by
+// source (the "common practice" §7.2 relies on) and deduplicating.
+func fromEdgeList(n int32, srcs, dsts []int32) *Graph {
+	type pair struct{ s, d int32 }
+	pairs := make([]pair, len(srcs))
+	for i := range srcs {
+		pairs[i] = pair{srcs[i], dsts[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].s != pairs[j].s {
+			return pairs[i].s < pairs[j].s
+		}
+		return pairs[i].d < pairs[j].d
+	})
+	g := &Graph{N: n, Index: make([]int64, n+1)}
+	g.Edges = make([]int32, 0, len(pairs))
+	var prev pair = pair{-1, -1}
+	for _, p := range pairs {
+		if p == prev {
+			continue // dedup
+		}
+		prev = p
+		g.Edges = append(g.Edges, p.d)
+		g.Index[p.s+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		g.Index[i+1] += g.Index[i]
+	}
+	return g
+}
+
+// Kronecker generates an R-MAT graph with 2^scale vertices and about
+// avgDeg edges per vertex, using the GAP/Graph500 partition
+// A/B/C = 0.57/0.19/0.19 from Table 3. Self-loops are kept (as in GAP's
+// generator); duplicate edges are removed.
+func Kronecker(scale int, avgDeg int, seed int64) *Graph {
+	n := int32(1) << scale
+	m := int64(avgDeg) * int64(n)
+	rng := rand.New(rand.NewSource(seed))
+	const a, b, c = 0.57, 0.19, 0.19
+	srcs := make([]int32, m)
+	dsts := make([]int32, m)
+	for e := int64(0); e < m; e++ {
+		var src, dst int32
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: neither bit set
+			case r < a+b:
+				dst |= 1 << bit
+			case r < a+b+c:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		srcs[e], dsts[e] = src, dst
+	}
+	return fromEdgeList(n, srcs, dsts)
+}
+
+// PowerLaw generates a graph with n vertices and n*avgDeg distinct edges
+// whose endpoint popularity follows a Zipf-like power law — the
+// degree-sweep generator of Fig 19 and the stand-in for the Table-4
+// social graphs. Edges are drawn until the distinct-edge target is met,
+// so the requested average degree is hit exactly (up to saturation).
+func PowerLaw(n int32, avgDeg int, seed int64) *Graph {
+	m := int64(avgDeg) * int64(n)
+	if maxM := int64(n) * int64(n) / 2; m > maxM {
+		m = maxM
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 8, uint64(n-1))
+	perm := rng.Perm(int(n)) // decorrelate popularity from vertex id
+	seen := make(map[int64]struct{}, m)
+	srcs := make([]int32, 0, m)
+	dsts := make([]int32, 0, m)
+	for attempts := int64(0); int64(len(srcs)) < m && attempts < 40*m; attempts++ {
+		s := int32(perm[zipf.Uint64()])
+		d := int32(perm[zipf.Uint64()])
+		key := int64(s)<<32 | int64(d)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		srcs = append(srcs, s)
+		dsts = append(dsts, d)
+	}
+	return fromEdgeList(n, srcs, dsts)
+}
+
+// AddUniformWeights attaches uniformly random edge weights in [lo, hi]
+// (Table 3: [1, 255] for sssp).
+func (g *Graph) AddUniformWeights(lo, hi int32, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	g.Weights = make([]int32, len(g.Edges))
+	for i := range g.Weights {
+		g.Weights[i] = lo + rng.Int31n(hi-lo+1)
+	}
+}
+
+// Transpose returns the reversed graph (for pull-direction algorithms).
+// Weights follow their edges.
+func (g *Graph) Transpose() *Graph {
+	t := &Graph{N: g.N, Index: make([]int64, g.N+1)}
+	for _, v := range g.Edges {
+		t.Index[v+1]++
+	}
+	for i := int32(0); i < g.N; i++ {
+		t.Index[i+1] += t.Index[i]
+	}
+	t.Edges = make([]int32, len(g.Edges))
+	if g.Weights != nil {
+		t.Weights = make([]int32, len(g.Edges))
+	}
+	next := make([]int64, g.N)
+	copy(next, t.Index[:g.N])
+	for u := int32(0); u < g.N; u++ {
+		for i := g.Index[u]; i < g.Index[u+1]; i++ {
+			v := g.Edges[i]
+			t.Edges[next[v]] = u
+			if g.Weights != nil {
+				t.Weights[next[v]] = g.Weights[i]
+			}
+			next[v]++
+		}
+	}
+	return t
+}
+
+// MaxDegreeVertex returns the vertex with the highest out-degree — the
+// conventional BFS source for power-law graphs (guarantees a large
+// reachable component).
+func (g *Graph) MaxDegreeVertex() int32 {
+	best, bestDeg := int32(0), int64(-1)
+	for u := int32(0); u < g.N; u++ {
+		if d := g.Degree(u); d > bestDeg {
+			best, bestDeg = u, d
+		}
+	}
+	return best
+}
+
+// Validate checks CSR structural invariants.
+func (g *Graph) Validate() error {
+	if len(g.Index) != int(g.N)+1 {
+		return fmt.Errorf("graph: index has %d entries for %d vertices", len(g.Index), g.N)
+	}
+	if g.Index[0] != 0 || g.Index[g.N] != int64(len(g.Edges)) {
+		return fmt.Errorf("graph: index bounds [%d,%d] vs %d edges", g.Index[0], g.Index[g.N], len(g.Edges))
+	}
+	for u := int32(0); u < g.N; u++ {
+		if g.Index[u] > g.Index[u+1] {
+			return fmt.Errorf("graph: index not monotone at %d", u)
+		}
+	}
+	for _, v := range g.Edges {
+		if v < 0 || v >= g.N {
+			return fmt.Errorf("graph: edge target %d out of range", v)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("graph: %d weights for %d edges", len(g.Weights), len(g.Edges))
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKroneckerStructure(t *testing.T) {
+	g := Kronecker(10, 8, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 {
+		t.Errorf("N = %d, want 1024", g.N)
+	}
+	// Dedup removes some edges; at least half should remain.
+	if g.NumEdges() < 4*1024/2 {
+		t.Errorf("only %d edges generated", g.NumEdges())
+	}
+	// R-MAT graphs are skewed: max degree far above the average.
+	maxDeg := g.Degree(g.MaxDegreeVertex())
+	if float64(maxDeg) < 4*g.AvgDegree() {
+		t.Errorf("max degree %d vs avg %.1f — not skewed", maxDeg, g.AvgDegree())
+	}
+	// Deterministic per seed.
+	g2 := Kronecker(10, 8, 1)
+	if g2.NumEdges() != g.NumEdges() || g2.Edges[0] != g.Edges[0] {
+		t.Error("Kronecker not reproducible for fixed seed")
+	}
+}
+
+func TestEdgesSortedBySource(t *testing.T) {
+	g := Kronecker(9, 6, 3)
+	for u := int32(0); u < g.N; u++ {
+		edges := g.OutEdges(u)
+		for i := 1; i < len(edges); i++ {
+			if edges[i] <= edges[i-1] {
+				t.Fatalf("vertex %d edges not strictly sorted at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestPowerLawDegreeTarget(t *testing.T) {
+	for _, d := range []int{4, 16, 64} {
+		g := PowerLaw(1<<12, d, 7)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Dedup trims duplicates; the heavier the skew the more it trims.
+		if g.AvgDegree() < float64(d)/4 || g.AvgDegree() > float64(d) {
+			t.Errorf("avg degree %.1f for target %d", g.AvgDegree(), d)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := Kronecker(9, 8, 5)
+	g.AddUniformWeights(1, 255, 5)
+	tt := g.Transpose().Transpose()
+	if tt.N != g.N || len(tt.Edges) != len(g.Edges) {
+		t.Fatal("transpose changed size")
+	}
+	for u := int32(0); u < g.N; u++ {
+		a, b := g.OutEdges(u), tt.OutEdges(u)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed: %d vs %d", u, len(a), len(b))
+		}
+	}
+	// Weight multiset preserved.
+	sum := func(w []int32) int64 {
+		var s int64
+		for _, x := range w {
+			s += int64(x)
+		}
+		return s
+	}
+	if sum(g.Weights) != sum(tt.Weights) {
+		t.Error("transpose lost weights")
+	}
+}
+
+func TestTransposeEdgeCorrespondence(t *testing.T) {
+	g := Kronecker(8, 6, 9)
+	gt := g.Transpose()
+	// Every edge u->v in g appears as v->u in gt.
+	count := func(gr *Graph, s, d int32) int {
+		c := 0
+		for _, v := range gr.OutEdges(s) {
+			if v == d {
+				c++
+			}
+		}
+		return c
+	}
+	for u := int32(0); u < g.N; u += 17 {
+		for _, v := range g.OutEdges(u) {
+			if count(gt, v, u) == 0 {
+				t.Fatalf("edge %d->%d missing from transpose", u, v)
+			}
+		}
+	}
+}
+
+func TestBFSDirectionsAgreeOnLevels(t *testing.T) {
+	g := Kronecker(10, 8, 2)
+	gt := g.Transpose()
+	src := g.MaxDegreeVertex()
+	push := BFS(g, nil, src, PushOnly{})
+	pull := BFS(g, gt, src, PullOnly{})
+	gap := BFS(g, gt, src, DefaultGAPPolicy())
+	paper := BFS(g, gt, src, DefaultPaperPolicy())
+	for v := int32(0); v < g.N; v++ {
+		if push.Level[v] != pull.Level[v] || push.Level[v] != gap.Level[v] || push.Level[v] != paper.Level[v] {
+			t.Fatalf("vertex %d levels differ: push %d pull %d gap %d paper %d",
+				v, push.Level[v], pull.Level[v], gap.Level[v], paper.Level[v])
+		}
+	}
+	// Parents must be valid: parent is reached one level earlier.
+	for v := int32(0); v < g.N; v++ {
+		if p := push.Parent[v]; p >= 0 && v != src {
+			if push.Level[p] != push.Level[v]-1 {
+				t.Fatalf("vertex %d at level %d has parent %d at level %d", v, push.Level[v], p, push.Level[p])
+			}
+		}
+	}
+}
+
+func TestBFSIterStatsConsistent(t *testing.T) {
+	g := Kronecker(10, 8, 4)
+	src := g.MaxDegreeVertex()
+	res := BFS(g, nil, src, PushOnly{})
+	visited := int64(1)
+	for _, it := range res.Iters {
+		visited += it.Active
+		if it.Visited != visited {
+			t.Fatalf("iter %d: Visited %d, want %d", it.Iter, it.Visited, visited)
+		}
+	}
+	reached := int64(0)
+	for _, l := range res.Level {
+		if l >= 0 {
+			reached++
+		}
+	}
+	if reached != visited {
+		t.Errorf("levels count %d but iter stats say %d", reached, visited)
+	}
+}
+
+func TestPaperPolicyUsesMorePushThanGAP(t *testing.T) {
+	g := Kronecker(12, 10, 6)
+	gt := g.Transpose()
+	src := g.MaxDegreeVertex()
+	gap := BFS(g, gt, src, DefaultGAPPolicy())
+	paper := BFS(g, gt, src, DefaultPaperPolicy())
+	pushIters := func(res BFSResult) int {
+		n := 0
+		for _, it := range res.Iters {
+			if it.Dir == Push {
+				n++
+			}
+		}
+		return n
+	}
+	if pushIters(paper) < pushIters(gap) {
+		t.Errorf("paper policy pushed %d iters, GAP %d — NDC policy should push at least as much",
+			pushIters(paper), pushIters(gap))
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := Kronecker(9, 8, 8)
+	scores := PageRank(g, 8, 0.85)
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	// Dangling-vertex mass leaks in this formulation (as in GAP's basic
+	// kernel); the sum stays in (0.5, 1].
+	if sum <= 0.5 || sum > 1.0001 {
+		t.Errorf("score sum %.4f out of range", sum)
+	}
+}
+
+func TestSSSPMatchesTriangleInequality(t *testing.T) {
+	g := Kronecker(9, 8, 11)
+	g.AddUniformWeights(1, 255, 11)
+	src := g.MaxDegreeVertex()
+	res := SSSP(g, src)
+	if res.Dist[src] != 0 {
+		t.Fatalf("dist[src] = %d", res.Dist[src])
+	}
+	// Relaxed: for every edge (u,v), dist[v] <= dist[u] + w.
+	for u := int32(0); u < g.N; u++ {
+		if res.Dist[u] == InfDist {
+			continue
+		}
+		for i := g.Index[u]; i < g.Index[u+1]; i++ {
+			v := g.Edges[i]
+			if res.Dist[v] > res.Dist[u]+int64(g.Weights[i]) {
+				t.Fatalf("edge %d->%d not relaxed: %d > %d+%d", u, v, res.Dist[v], res.Dist[u], g.Weights[i])
+			}
+		}
+	}
+}
+
+func TestSSSPAgreesWithBFSOnUnitWeights(t *testing.T) {
+	g := Kronecker(9, 8, 13)
+	g.Weights = make([]int32, len(g.Edges))
+	for i := range g.Weights {
+		g.Weights[i] = 1
+	}
+	src := g.MaxDegreeVertex()
+	d := SSSP(g, src)
+	b := BFS(g, nil, src, PushOnly{})
+	for v := int32(0); v < g.N; v++ {
+		switch {
+		case b.Level[v] == -1 && d.Dist[v] != InfDist:
+			t.Fatalf("vertex %d unreachable by BFS but dist %d", v, d.Dist[v])
+		case b.Level[v] >= 0 && d.Dist[v] != int64(b.Level[v]):
+			t.Fatalf("vertex %d: dist %d, BFS level %d", v, d.Dist[v], b.Level[v])
+		}
+	}
+}
+
+func TestFromEdgeListProperty(t *testing.T) {
+	// Property: every generated graph validates and has monotone index.
+	prop := func(seed int64) bool {
+		g := PowerLaw(256, 4, seed)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package graph
+
+import "testing"
+
+func TestGAPPolicyTransitions(t *testing.T) {
+	p := DefaultGAPPolicy()
+	// Push holds while scout edges are few.
+	if d := p.Decide(Push, StepState{ScoutFrac: 0.01}); d != Push {
+		t.Error("GAP switched to pull too eagerly")
+	}
+	// Switch to pull when scout > |E|/alpha.
+	if d := p.Decide(Push, StepState{ScoutFrac: 0.10}); d != Pull {
+		t.Error("GAP did not switch to pull at high scout fraction")
+	}
+	// Pull holds while the frontier is large.
+	if d := p.Decide(Pull, StepState{AwakeFrac: 0.5}); d != Pull {
+		t.Error("GAP abandoned pull with a large frontier")
+	}
+	// Back to push when the frontier shrinks below N/beta.
+	if d := p.Decide(Pull, StepState{AwakeFrac: 0.01}); d != Push {
+		t.Error("GAP did not return to push")
+	}
+}
+
+func TestPaperPolicyNeedsBothConditions(t *testing.T) {
+	p := DefaultPaperPolicy()
+	// High scout alone is NOT enough (cheap NDC atomics keep pushing).
+	if d := p.Decide(Push, StepState{VisitedFrac: 0.1, ScoutFrac: 0.5}); d != Push {
+		t.Error("paper policy pulled without the visited condition")
+	}
+	// High visited alone is not enough either.
+	if d := p.Decide(Push, StepState{VisitedFrac: 0.9, ScoutFrac: 0.01}); d != Push {
+		t.Error("paper policy pulled without the scout condition")
+	}
+	// Both conditions: pull.
+	if d := p.Decide(Push, StepState{VisitedFrac: 0.5, ScoutFrac: 0.1}); d != Pull {
+		t.Error("paper policy did not pull when both thresholds crossed")
+	}
+	// Pull -> push on a small awake fraction.
+	if d := p.Decide(Pull, StepState{AwakeFrac: 0.1}); d != Push {
+		t.Error("paper policy did not return to push")
+	}
+	if d := p.Decide(Pull, StepState{AwakeFrac: 0.5}); d != Pull {
+		t.Error("paper policy left pull with a large frontier")
+	}
+}
+
+func TestFixedPolicies(t *testing.T) {
+	if (PushOnly{}).Decide(Pull, StepState{}) != Push {
+		t.Error("PushOnly not push")
+	}
+	if (PullOnly{}).Decide(Push, StepState{}) != Pull {
+		t.Error("PullOnly not pull")
+	}
+	if (PushOnly{}).Name() != "push" || (PullOnly{}).Name() != "pull" {
+		t.Error("policy names changed")
+	}
+}
+
+func TestBFSEmptyAndSingletonGraphs(t *testing.T) {
+	// A graph with a single vertex and no edges.
+	g := &Graph{N: 1, Index: []int64{0, 0}}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := BFS(g, g.Transpose(), 0, PushOnly{})
+	if res.Level[0] != 0 {
+		t.Error("source not at level 0")
+	}
+	if len(res.Iters) != 1 || res.Iters[0].Active != 0 {
+		t.Errorf("unexpected iterations %+v", res.Iters)
+	}
+}
+
+func TestDegreeAndAvg(t *testing.T) {
+	g := &Graph{N: 3, Index: []int64{0, 2, 2, 3}, Edges: []int32{1, 2, 0}}
+	if g.Degree(0) != 2 || g.Degree(1) != 0 || g.Degree(2) != 1 {
+		t.Error("degrees wrong")
+	}
+	if g.AvgDegree() != 1 {
+		t.Errorf("avg degree %f", g.AvgDegree())
+	}
+	if g.MaxDegreeVertex() != 0 {
+		t.Error("max-degree vertex wrong")
+	}
+}

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/stats"
+	"affinityalloc/internal/sys"
+	"affinityalloc/internal/workloads"
+)
+
+// fig4N returns the vecadd size per scale.
+func fig4N(opt Options) int64 {
+	switch opt.Scale {
+	case Tiny:
+		return 1 << 16
+	case Paper:
+		return 1 << 21
+	default:
+		return 1 << 18
+	}
+}
+
+// Fig4 regenerates the Δ-bank layout sweep on vector add: near-data
+// computing under deliberately misaligned layouts, versus In-Core and a
+// random page layout.
+func Fig4(opt Options) (*Figure, error) {
+	n := fig4N(opt)
+	tbl := stats.NewTable("Fig 4: vecadd layout sweep (normalized to In-Core)",
+		"layout", "speedup", "hops.data", "hops.control", "hops.offload", "hops.total")
+
+	cfg := baseConfig(opt, core.DefaultPolicy())
+	inCore, err := workloads.Run(cfg, workloads.VecAdd{N: n, ForceDelta: -1}, sys.InCore)
+	if err != nil {
+		return nil, err
+	}
+	addRow := func(name string, r workloads.Result) {
+		d, c, o := trafficCols(r, inCore)
+		tbl.AddRow(name, speedup(r, inCore), d, c, o, d+c+o)
+	}
+	addRow("In-Core", inCore)
+
+	for delta := 0; delta <= 64; delta += 4 {
+		r, err := workloads.Run(cfg, workloads.VecAdd{N: n, ForceDelta: delta}, sys.AffAlloc)
+		if err != nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("Δ Bank %d", delta), r)
+	}
+	random, err := workloads.Run(cfg, workloads.VecAdd{N: n, ForceDelta: -1}, sys.NearL3)
+	if err != nil {
+		return nil, err
+	}
+	addRow("Random", random)
+
+	return &Figure{
+		ID:     "fig4",
+		Title:  "Impact of Affine Data Layout on Vec Add",
+		Tables: []*stats.Table{tbl},
+		Notes: []string{
+			"paper shape: NSC always above In-Core; best at Δ0, worst near the bisection (Δ~32); Random ≈ 42% of aligned",
+		},
+	}, nil
+}
+
+// Fig12 regenerates the headline evaluation: all ten workloads under the
+// three configurations.
+func Fig12(opt Options) (*Figure, error) {
+	spd := stats.NewTable("Fig 12: speedup and energy efficiency (normalized to Near-L3)",
+		"workload", "spdup.InCore", "spdup.NearL3", "spdup.AffAlloc", "eff.InCore", "eff.NearL3", "eff.AffAlloc")
+	trf := stats.NewTable("Fig 12: NoC traffic (flit-hops normalized to In-Core) and utilization",
+		"workload", "cfg", "data", "control", "offload", "total", "util")
+
+	var spIn, spAff, efIn, efAff, trAff []float64
+	for _, w := range allWorkloads(opt) {
+		res, err := runModes(opt, w)
+		if err != nil {
+			return nil, err
+		}
+		base := res[sys.NearL3]
+		spd.AddRow(w.Name(),
+			speedup(res[sys.InCore], base), 1.0, speedup(res[sys.AffAlloc], base),
+			energyEff(res[sys.InCore], base), 1.0, energyEff(res[sys.AffAlloc], base))
+		spIn = append(spIn, speedup(base, res[sys.InCore]))
+		spAff = append(spAff, speedup(res[sys.AffAlloc], base))
+		efIn = append(efIn, energyEff(base, res[sys.InCore]))
+		efAff = append(efAff, energyEff(res[sys.AffAlloc], base))
+
+		for _, mode := range sys.Modes {
+			d, c, o := trafficCols(res[mode], res[sys.InCore])
+			trf.AddRow(w.Name(), mode.String(), d, c, o, d+c+o, res[mode].Metrics.NoCUtil)
+			if mode == sys.AffAlloc {
+				trAff = append(trAff, d+c+o)
+			}
+		}
+	}
+	spd.AddRow("geomean",
+		1/geomeanColumn(spIn), 1.0, geomeanColumn(spAff),
+		1/geomeanColumn(efIn), 1.0, geomeanColumn(efAff))
+
+	affOverIn := geomeanColumn(spAff) * geomeanColumn(spIn)
+	effOverIn := geomeanColumn(efAff) * geomeanColumn(efIn)
+	var trSum float64
+	for _, v := range trAff {
+		trSum += v
+	}
+	return &Figure{
+		ID:     "fig12",
+		Title:  "Overall Performance and Traffic Reduction",
+		Tables: []*stats.Table{spd, trf},
+		Notes: []string{
+			fmt.Sprintf("Aff-Alloc over Near-L3: %.2fx speedup, %.2fx energy eff (paper: 2.26x / 1.76x)",
+				geomeanColumn(spAff), geomeanColumn(efAff)),
+			fmt.Sprintf("Aff-Alloc over In-Core: %.2fx speedup, %.2fx energy eff (paper: 7.53x / 4.69x)",
+				affOverIn, effOverIn),
+			fmt.Sprintf("Aff-Alloc mean traffic vs In-Core: %.0f%% reduction (paper: 87%%)",
+				100*(1-trSum/float64(len(trAff)))),
+		},
+	}, nil
+}
+
+// Fig13 regenerates the irregular bank-selection policy sensitivity:
+// Rnd / Lnr / Min-Hop / Hybrid-{1,3,5,7}, normalized to Rnd.
+func Fig13(opt Options) (*Figure, error) {
+	policies := []core.PolicyConfig{
+		{Policy: core.Rnd},
+		{Policy: core.Lnr},
+		{Policy: core.MinHop},
+		{Policy: core.Hybrid, H: 1},
+		{Policy: core.Hybrid, H: 3},
+		{Policy: core.Hybrid, H: 5},
+		{Policy: core.Hybrid, H: 7},
+	}
+	name := func(p core.PolicyConfig) string {
+		if p.Policy == core.Hybrid {
+			return fmt.Sprintf("Hybrid-%d", int(p.H))
+		}
+		return p.Policy.String()
+	}
+
+	spd := stats.NewTable("Fig 13: speedup by bank-selection policy (normalized to Rnd)",
+		"workload", "Rnd", "Lnr", "Min-Hop", "Hybrid-1", "Hybrid-3", "Hybrid-5", "Hybrid-7")
+	trf := stats.NewTable("Fig 13: total NoC flit-hops by policy (normalized to Rnd)",
+		"workload", "Rnd", "Lnr", "Min-Hop", "Hybrid-1", "Hybrid-3", "Hybrid-5", "Hybrid-7")
+
+	perPolicy := make(map[string][]float64)
+	for _, w := range irregularWorkloads(opt) {
+		var cells []interface{}
+		var tcells []interface{}
+		cells = append(cells, w.Name())
+		tcells = append(tcells, w.Name())
+		var base workloads.Result
+		for i, p := range policies {
+			r, err := workloads.Run(baseConfig(opt, p), w, sys.AffAlloc)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name(), name(p), err)
+			}
+			if i == 0 {
+				base = r
+			}
+			sp := speedup(r, base)
+			cells = append(cells, sp)
+			tcells = append(tcells, float64(r.Metrics.FlitHops)/float64(maxU64(base.Metrics.FlitHops, 1)))
+			perPolicy[name(p)] = append(perPolicy[name(p)], sp)
+		}
+		spd.AddRow(cells...)
+		trf.AddRow(tcells...)
+	}
+	gm := []interface{}{"geomean"}
+	for _, p := range policies {
+		gm = append(gm, geomeanColumn(perPolicy[name(p)]))
+	}
+	spd.AddRow(gm...)
+
+	return &Figure{
+		ID:     "fig13",
+		Title:  "Sensitivity on Irregular Layout Policies",
+		Tables: []*stats.Table{spd, trf},
+		Notes: []string{
+			"paper shape: Min-Hop wins on most but collapses on bin_tree (whole tree on one bank); Hybrid-5 is the robust default",
+		},
+	}, nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

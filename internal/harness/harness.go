@@ -1,0 +1,215 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§7): it assembles workloads at a chosen scale, runs them
+// across configurations, normalizes exactly as the paper does, and
+// renders paper-shaped text tables. DESIGN.md's experiment index maps
+// each figure to its function here.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/graph"
+	"affinityalloc/internal/stats"
+	"affinityalloc/internal/sys"
+	"affinityalloc/internal/workloads"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Tiny runs in seconds; for tests and CI.
+	Tiny Scale = iota
+	// Default is the host-scaled sizing (minutes for the full suite).
+	Default
+	// Paper is the published Table-3/Table-4 sizing.
+	Paper
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Default:
+		return "default"
+	case Paper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// ParseScale converts a flag value.
+func ParseScale(v string) (Scale, error) {
+	switch v {
+	case "tiny":
+		return Tiny, nil
+	case "default", "":
+		return Default, nil
+	case "paper":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("harness: unknown scale %q (tiny|default|paper)", v)
+}
+
+// Options parameterizes a harness run.
+type Options struct {
+	Scale Scale
+	Seed  int64
+}
+
+// DefaultOptions returns the default sizing.
+func DefaultOptions() Options { return Options{Scale: Default, Seed: 1} }
+
+// Figure is one regenerated artifact.
+type Figure struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// Render writes the figure to w.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", f.ID, f.Title)
+	for _, t := range f.Tables {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Figure, error)
+}
+
+// Experiments lists every regenerable artifact in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig4", "Impact of Affine Data Layout on Vec Add", Fig4},
+		{"fig6", "Impact of Irregular Data Layout (chunked-CSR oracle)", Fig6},
+		{"t2", "System and uarch parameters", Table2},
+		{"t3", "Workload parameters", Table3},
+		{"fig12", "Overall Performance and Traffic Reduction", Fig12},
+		{"fig13", "Sensitivity on Irregular Layout Policies", Fig13},
+		{"fig14", "Distribution of Atomic Stream in BFS-Push", Fig14},
+		{"fig15", "Speedup of Affine Layout on Large Inputs", Fig15},
+		{"fig16", "Speedup of Linked CSR on Large Graphs", Fig16},
+		{"fig17", "BFS Iteration Characteristics", Fig17},
+		{"fig18", "BFS Push vs Pull Timeline", Fig18},
+		{"fig19", "Speedup vs Average Node Degree", Fig19},
+		{"t4", "Real-world graph stand-ins", Table4},
+		{"fig20", "Performance on Real-World Graph Stand-ins", Fig20},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// baseConfig is the Table-2 system with a given irregular policy.
+func baseConfig(opt Options, pcfg core.PolicyConfig) sys.Config {
+	cfg := sys.DefaultConfig()
+	cfg.Seed = opt.Seed
+	cfg.Policy = pcfg
+	return cfg
+}
+
+// runModes runs a workload under the three configurations.
+func runModes(opt Options, w workloads.Workload) (map[sys.Mode]workloads.Result, error) {
+	out := make(map[sys.Mode]workloads.Result, 3)
+	for _, mode := range sys.Modes {
+		res, err := workloads.Run(baseConfig(opt, core.DefaultPolicy()), w, mode)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", w.Name(), mode, err)
+		}
+		out[mode] = res
+	}
+	// Functional cross-check: every configuration computed the same
+	// result.
+	base := out[sys.InCore].Checksum
+	for _, mode := range sys.Modes {
+		if out[mode].Checksum != base {
+			return nil, fmt.Errorf("%s: %v checksum %x != In-Core %x", w.Name(), mode, out[mode].Checksum, base)
+		}
+	}
+	return out, nil
+}
+
+// speedup returns base cycles / new cycles.
+func speedup(newM, baseM workloads.Result) float64 {
+	if newM.Metrics.Cycles == 0 {
+		return 0
+	}
+	return float64(baseM.Metrics.Cycles) / float64(newM.Metrics.Cycles)
+}
+
+// energyEff returns the energy-efficiency ratio of new over base (equal
+// work assumed).
+func energyEff(newM, baseM workloads.Result) float64 {
+	if newM.Metrics.EnergyTotal == 0 {
+		return 0
+	}
+	return baseM.Metrics.EnergyTotal / newM.Metrics.EnergyTotal
+}
+
+// trafficCols returns a run's data/control/offload flit-hops normalized
+// to a baseline run's total.
+func trafficCols(r workloads.Result, base workloads.Result) (d, c, o float64) {
+	total := float64(base.Metrics.FlitHops)
+	if total == 0 {
+		return 0, 0, 0
+	}
+	dd, cc, oo := r.Metrics.DataHops()
+	return float64(dd) / total, float64(cc) / total, float64(oo) / total
+}
+
+// geomeanColumn computes the geometric mean of a column extractor over
+// rows.
+func geomeanColumn(vals []float64) float64 { return stats.Geomean(vals) }
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sharedGraph builds the evaluation's main Kronecker graph at the given
+// scale (Table 3: 128k nodes, 4M edges at paper scale).
+func sharedGraph(opt Options) (*graph.Graph, *graph.Graph) {
+	scale, deg := 14, 12
+	switch opt.Scale {
+	case Tiny:
+		scale, deg = 11, 8
+	case Paper:
+		scale, deg = 17, 32
+	}
+	g := graph.Kronecker(scale, deg, 42+opt.Seed)
+	return g, g.Transpose()
+}
+
+// weightedSharedGraph adds Table 3's uniform [1,255] weights.
+func weightedSharedGraph(opt Options) *graph.Graph {
+	g, _ := sharedGraph(opt)
+	g.AddUniformWeights(1, 255, 42+opt.Seed)
+	return g
+}

@@ -1,0 +1,201 @@
+// Package noc models the on-chip mesh interconnect: X-Y wormhole routing
+// over 32-byte links, per-link serialization and contention, and traffic
+// accounting split into the paper's three message classes (Data, Control,
+// Offload). Every figure's "NoC Hops" bars come from this package's
+// counters.
+package noc
+
+import (
+	"fmt"
+
+	"affinityalloc/internal/engine"
+	"affinityalloc/internal/topo"
+)
+
+// Class categorizes a message for traffic accounting, matching the
+// stacked-bar breakdown in Figs 4, 6, 12, 13 and 20.
+type Class int
+
+const (
+	// Data carries operands or cache lines (element forwarding, line
+	// fills, writebacks).
+	Data Class = iota
+	// Control carries requests, acknowledgements, indirect-access
+	// requests, credits, and coherence traffic.
+	Control
+	// Offload carries stream configuration and stream migration state.
+	Offload
+
+	// NumClasses is the number of message classes.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Data:
+		return "data"
+	case Control:
+		return "control"
+	case Offload:
+		return "offload"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Config parameterizes the network. Defaults mirror Table 2.
+type Config struct {
+	LinkBytes     int         // flit width (Table 2: 32B)
+	PerHopCycles  engine.Time // router + link traversal per hop
+	LocalCycles   engine.Time // latency of a same-tile "message"
+	HeaderBytes   int         // per-message header added to payload
+	ModelConflict bool        // model per-link serialization/contention
+}
+
+// DefaultConfig returns Table 2's NoC parameters.
+func DefaultConfig() Config {
+	return Config{
+		LinkBytes:     32,
+		PerHopCycles:  2, // 5-stage router pipelined + 1-cycle link, steady state
+		LocalCycles:   1,
+		HeaderBytes:   8,
+		ModelConflict: true,
+	}
+}
+
+// ClassStats aggregates traffic for one message class.
+type ClassStats struct {
+	Messages uint64
+	Flits    uint64
+	// FlitHops is flits × hops summed over messages — the traffic
+	// measure behind the paper's "NoC Hops" bars.
+	FlitHops uint64
+}
+
+// Network is the mesh interconnect model. It is not safe for concurrent
+// use; the event kernel serializes all access.
+type Network struct {
+	mesh *topo.Mesh
+	cfg  Config
+
+	linkSrv   []*engine.Server // per-link flit schedule
+	linkFlits []uint64         // flits ever pushed through each directed link
+
+	classes    [NumClasses]ClassStats
+	routeCache []topo.Link // scratch buffer reused across sends
+}
+
+// New builds a network over the given mesh.
+func New(mesh *topo.Mesh, cfg Config) *Network {
+	if cfg.LinkBytes <= 0 {
+		cfg = DefaultConfig()
+	}
+	n := &Network{
+		mesh:      mesh,
+		cfg:       cfg,
+		linkSrv:   make([]*engine.Server, mesh.NumLinks()),
+		linkFlits: make([]uint64, mesh.NumLinks()),
+	}
+	for i := range n.linkSrv {
+		n.linkSrv[i] = engine.NewServer(1, 8, 4096)
+	}
+	return n
+}
+
+// Mesh returns the underlying topology.
+func (n *Network) Mesh() *topo.Mesh { return n.mesh }
+
+// Flits returns the number of flits a message with the given payload
+// occupies, including the header flit share.
+func (n *Network) Flits(payloadBytes int) int {
+	total := payloadBytes + n.cfg.HeaderBytes
+	f := (total + n.cfg.LinkBytes - 1) / n.cfg.LinkBytes
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Send models one message injected at cycle now, travelling from bank
+// `from` to bank `to`, and returns its arrival cycle at the destination.
+// Traffic counters are charged to the given class. Same-tile messages
+// cost LocalCycles and no link traffic.
+func (n *Network) Send(now engine.Time, from, to int, class Class, payloadBytes int) engine.Time {
+	flits := n.Flits(payloadBytes)
+	st := &n.classes[class]
+	st.Messages++
+	if from == to {
+		return now + n.cfg.LocalCycles
+	}
+	hops := n.mesh.Hops(from, to)
+	st.Flits += uint64(flits)
+	st.FlitHops += uint64(flits) * uint64(hops)
+
+	if !n.cfg.ModelConflict {
+		return now + engine.Time(hops)*n.cfg.PerHopCycles + engine.Time(flits-1)
+	}
+
+	n.routeCache = n.mesh.Route(n.routeCache[:0], from, to)
+	arrive := now
+	for _, l := range n.routeCache {
+		idx := n.mesh.LinkIndex(l)
+		depart := n.linkSrv[idx].Reserve(arrive, flits)
+		n.linkFlits[idx] += uint64(flits)
+		arrive = depart + n.cfg.PerHopCycles
+	}
+	return arrive + engine.Time(flits-1)
+}
+
+// Latency estimates the uncontended latency of a message without sending
+// it (no counters are charged).
+func (n *Network) Latency(from, to int, payloadBytes int) engine.Time {
+	if from == to {
+		return n.cfg.LocalCycles
+	}
+	flits := n.Flits(payloadBytes)
+	hops := n.mesh.Hops(from, to)
+	return engine.Time(hops)*n.cfg.PerHopCycles + engine.Time(flits-1)
+}
+
+// Stats returns the per-class traffic counters.
+func (n *Network) Stats() [NumClasses]ClassStats { return n.classes }
+
+// TotalFlitHops sums flit-hops across all classes.
+func (n *Network) TotalFlitHops() uint64 {
+	var total uint64
+	for _, c := range n.classes {
+		total += c.FlitHops
+	}
+	return total
+}
+
+// Utilization returns the fraction of link-cycles carrying flits over an
+// elapsed window — the "NoC Util." dots in Figs 12, 13 and 20.
+func (n *Network) Utilization(elapsed engine.Time) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	var flits uint64
+	for _, f := range n.linkFlits {
+		flits += f
+	}
+	return float64(flits) / (float64(n.mesh.NumLinks()) * float64(elapsed))
+}
+
+// ResetStats clears traffic counters while keeping link schedules, so a
+// measurement window can exclude warmup.
+func (n *Network) ResetStats() {
+	n.classes = [NumClasses]ClassStats{}
+	for i := range n.linkFlits {
+		n.linkFlits[i] = 0
+	}
+}
+
+// MaxLinkFree reports the latest link schedule horizon — a debugging aid.
+func (n *Network) MaxLinkFree() engine.Time {
+	var t engine.Time
+	for _, s := range n.linkSrv {
+		t = engine.MaxTime(t, s.Horizon())
+	}
+	return t
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimelineDistribution(t *testing.T) {
+	tl := NewTimeline(4, 10)
+	// Bucket 0: bank 0 gets 3 events, bank 1 gets 1, banks 2-3 none.
+	tl.Add(0, 1)
+	tl.Add(0, 5)
+	tl.Add(0, 9)
+	tl.Add(1, 3)
+	// Bucket 2: one event.
+	tl.Add(2, 25)
+	if tl.Buckets() != 3 {
+		t.Fatalf("buckets %d, want 3", tl.Buckets())
+	}
+	d := tl.Distribution(0)
+	if d.Min != 0 || d.Max != 3 || d.Avg != 1 {
+		t.Errorf("bucket 0 dist %+v", d)
+	}
+	if got := tl.Distribution(5); got != (Dist{}) {
+		t.Errorf("out-of-range bucket returned %+v", got)
+	}
+}
+
+func TestTimelineImbalance(t *testing.T) {
+	balanced := NewTimeline(4, 1)
+	for b := 0; b < 4; b++ {
+		balanced.Add(b, 0)
+	}
+	if got := balanced.Imbalance(); got != 1 {
+		t.Errorf("balanced imbalance %f, want 1", got)
+	}
+	skewed := NewTimeline(4, 1)
+	for i := 0; i < 8; i++ {
+		skewed.Add(0, 0)
+	}
+	if got := skewed.Imbalance(); got != 4 {
+		t.Errorf("skewed imbalance %f, want 4", got)
+	}
+	if empty := NewTimeline(4, 1); empty.Imbalance() != 1 {
+		t.Error("empty timeline imbalance != 1")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("b", uint64(42))
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "1.500", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line at least as wide as the header.
+	// Title + header + separator + two rows.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if len(tbl.Rows()) != 2 {
+		t.Errorf("Rows() = %d", len(tbl.Rows()))
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %f", g)
+	}
+	// Zero/negative values are skipped.
+	if g := Geomean([]float64{0, -1, 4}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean skipping nonpositive = %f", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %f", g)
+	}
+	// No overflow on many large values.
+	many := make([]float64, 1000)
+	for i := range many {
+		many[i] = 1e300
+	}
+	if g := Geomean(many); math.IsInf(g, 0) || math.Abs(g-1e300)/1e300 > 1e-6 {
+		t.Errorf("Geomean large values = %g", g)
+	}
+}

@@ -1,0 +1,242 @@
+// Package sys assembles the full simulated system of Table 2 — mesh,
+// address space, NoC, banked L3 + DRAM, cores, stream engines, and the
+// affinity-allocation runtime — and collects the metrics the evaluation
+// reports (cycles, per-class NoC traffic, L3 miss rate, energy).
+package sys
+
+import (
+	"fmt"
+
+	"affinityalloc/internal/cache"
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/cpu"
+	"affinityalloc/internal/energy"
+	"affinityalloc/internal/engine"
+	"affinityalloc/internal/memsim"
+	"affinityalloc/internal/noc"
+	"affinityalloc/internal/stream"
+	"affinityalloc/internal/topo"
+)
+
+// Mode selects the execution configuration of §6.
+type Mode int
+
+const (
+	// InCore runs everything on the OOO cores with prefetchers; nothing
+	// is offloaded.
+	InCore Mode = iota
+	// NearL3 offloads streams to the L3 stream engines but is oblivious
+	// to data affinity (baseline allocator, original data structures).
+	NearL3
+	// AffAlloc is NearL3 plus affinity allocation and the co-designed
+	// data structures.
+	AffAlloc
+)
+
+func (m Mode) String() string {
+	switch m {
+	case InCore:
+		return "In-Core"
+	case NearL3:
+		return "Near-L3"
+	case AffAlloc:
+		return "Aff-Alloc"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Modes lists the three configurations in presentation order.
+var Modes = []Mode{InCore, NearL3, AffAlloc}
+
+// Config parameterizes a system build.
+type Config struct {
+	MeshW, MeshH int
+	Numbering    topo.Numbering
+	Mem          memsim.Config
+	NoC          noc.Config
+	MemSys       cache.MemSysConfig
+	Core         cpu.Config
+	Stream       stream.Config
+	Policy       core.PolicyConfig
+	Energy       energy.Params
+	Seed         int64
+}
+
+// DefaultConfig mirrors Table 2: an 8x8 mesh of cores with 64 L3 banks.
+// The conventional heap uses randomized physical page placement — the
+// affinity-oblivious layout a long-running OS gives malloc'd data, and
+// what the Near-L3 and In-Core baselines run on.
+func DefaultConfig() Config {
+	mem := memsim.DefaultConfig()
+	mem.HeapLayout = memsim.HeapRandom
+	return Config{
+		MeshW:     8,
+		MeshH:     8,
+		Numbering: topo.RowMajor,
+		Mem:       mem,
+		NoC:       noc.DefaultConfig(),
+		MemSys:    cache.DefaultMemSysConfig(),
+		Core:      cpu.DefaultConfig(),
+		Stream:    stream.DefaultConfig(),
+		Policy:    core.DefaultPolicy(),
+		Energy:    energy.DefaultParams(),
+		Seed:      1,
+	}
+}
+
+// System is one assembled machine instance. Build a fresh System per
+// workload run; state (caches, link schedules) is intentionally carried
+// within a run and discarded across runs.
+type System struct {
+	Cfg   Config
+	Mesh  *topo.Mesh
+	Space *memsim.Space
+	Net   *noc.Network
+	Mem   *cache.MemSystem
+	Coh   *cpu.Coherence
+	Cores []*cpu.Core
+	SE    *stream.Engine
+	RT    *core.Runtime
+}
+
+// New builds a system.
+func New(cfg Config) (*System, error) {
+	mesh, err := topo.NewMesh(cfg.MeshW, cfg.MeshH, cfg.Numbering)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Mem.Banks = mesh.Banks()
+	cfg.Mem.Seed = cfg.Seed
+	space, err := memsim.NewSpace(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	net := noc.New(mesh, cfg.NoC)
+	mem, err := cache.NewMemSystem(space, net, cfg.MemSys)
+	if err != nil {
+		return nil, err
+	}
+	coh := cpu.NewCoherence()
+	cores := make([]*cpu.Core, mesh.Banks())
+	for i := range cores {
+		c, err := cpu.NewCore(i, mem, coh, cfg.Core)
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = c
+	}
+	se := stream.NewEngine(mem, cfg.Stream)
+	rt, err := core.New(space, mesh, cfg.Policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Cfg:   cfg,
+		Mesh:  mesh,
+		Space: space,
+		Net:   net,
+		Mem:   mem,
+		Coh:   coh,
+		Cores: cores,
+		SE:    se,
+		RT:    rt,
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumCores returns the core count (== banks).
+func (s *System) NumCores() int { return len(s.Cores) }
+
+// Alloc allocates per the mode: affinity-aware specs in AffAlloc, the
+// baseline allocator otherwise. It lets workload code state its affinity
+// intent once and run under every configuration.
+func (s *System) Alloc(mode Mode, spec core.AffineSpec) (*core.ArrayInfo, error) {
+	if mode == AffAlloc {
+		return s.RT.AllocAffine(spec)
+	}
+	base, err := s.RT.AllocBase(int64(spec.ElemSize) * spec.NumElem)
+	if err != nil {
+		return nil, err
+	}
+	return &core.ArrayInfo{
+		Base:       base,
+		ElemSize:   spec.ElemSize,
+		ElemStride: spec.ElemSize,
+		NumElem:    spec.NumElem,
+	}, nil
+}
+
+// PreloadArray warms an affine array into the L3 (see cache.Preload).
+func (s *System) PreloadArray(a *core.ArrayInfo) {
+	s.Mem.Preload(a.Base, a.Bytes())
+}
+
+// Metrics is what one run reports.
+type Metrics struct {
+	Cycles       engine.Time
+	Traffic      [noc.NumClasses]noc.ClassStats
+	FlitHops     uint64
+	NoCUtil      float64
+	L3Accesses   uint64
+	L3Misses     uint64
+	L3MissRate   float64
+	DRAMAccesses uint64
+	Energy       energy.Breakdown
+	EnergyTotal  float64
+	Checksum     uint64
+}
+
+// Collect gathers metrics at a run's finish cycle.
+func (s *System) Collect(finish engine.Time) Metrics {
+	var m Metrics
+	m.Cycles = finish
+	m.Traffic = s.Net.Stats()
+	m.FlitHops = s.Net.TotalFlitHops()
+	m.NoCUtil = s.Net.Utilization(finish)
+	acc, _, miss := s.Mem.TotalL3Stats()
+	m.L3Accesses, m.L3Misses = acc, miss
+	if acc > 0 {
+		m.L3MissRate = float64(miss) / float64(acc)
+	}
+	m.DRAMAccesses = s.Mem.DRAMReads + s.Mem.DRAMWrites
+
+	var counts energy.Counts
+	for _, c := range s.Cores {
+		active := c.Drained()
+		if active > finish {
+			active = finish
+		}
+		if c.Loads+c.Stores+c.Atomics+c.ALUOps+c.SIMDOps > 0 {
+			counts.CoreActiveCycles += uint64(active)
+		}
+		counts.ALUOps += c.ALUOps
+		counts.SIMDOps += c.SIMDOps
+		counts.L1Accesses += c.L1().Accesses
+		counts.L2Accesses += c.L2().Accesses
+	}
+	counts.L3Accesses = acc
+	counts.DRAMAccesses = m.DRAMAccesses
+	counts.NoCFlitHops = m.FlitHops
+	counts.SEL3Ops = s.SE.ElementsComputed + s.SE.RemoteOps + s.SE.Migrations
+	counts.ElapsedCycles = uint64(finish)
+	counts.Routers = s.Mesh.Banks()
+	counts.Banks = s.Mesh.Banks()
+	m.Energy = energy.Estimate(counts, s.Cfg.Energy)
+	m.EnergyTotal = m.Energy.Total()
+	return m
+}
+
+// DataHops returns the per-class flit-hop counts as a convenience triple
+// (data, control, offload).
+func (m Metrics) DataHops() (data, control, offload uint64) {
+	return m.Traffic[noc.Data].FlitHops, m.Traffic[noc.Control].FlitHops, m.Traffic[noc.Offload].FlitHops
+}

@@ -1,0 +1,102 @@
+package sys
+
+import (
+	"testing"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/memsim"
+)
+
+func TestDefaultConfigMatchesTable2(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MeshW != 8 || cfg.MeshH != 8 {
+		t.Errorf("mesh %dx%d, want 8x8", cfg.MeshW, cfg.MeshH)
+	}
+	if cfg.Mem.DefaultInterleave != 1024 {
+		t.Errorf("NUCA interleave %d, want 1024", cfg.Mem.DefaultInterleave)
+	}
+	if cfg.Mem.IOTCapacity != 16 {
+		t.Errorf("IOT capacity %d, want 16", cfg.Mem.IOTCapacity)
+	}
+	if cfg.MemSys.BankSizeBytes != 1<<20 || cfg.MemSys.BankWays != 16 {
+		t.Errorf("L3 bank %d/%d, want 1MB/16-way", cfg.MemSys.BankSizeBytes, cfg.MemSys.BankWays)
+	}
+	if cfg.MemSys.L3HitLatency != 20 {
+		t.Errorf("L3 latency %d, want 20", cfg.MemSys.L3HitLatency)
+	}
+	if cfg.Core.L1SizeBytes != 32<<10 || cfg.Core.L2SizeBytes != 256<<10 {
+		t.Error("private cache sizes off Table 2")
+	}
+	if cfg.Stream.ComputeInit != 4 {
+		t.Errorf("compute init %d, want 4", cfg.Stream.ComputeInit)
+	}
+	if cfg.Policy.Policy != core.Hybrid || cfg.Policy.H != 5 {
+		t.Errorf("default policy %v-%v, want Hybrid-5", cfg.Policy.Policy, cfg.Policy.H)
+	}
+	if cfg.Mem.HeapLayout != memsim.HeapRandom {
+		t.Error("baseline heap should be affinity-oblivious (random pages)")
+	}
+}
+
+func TestSystemAssembly(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	if s.NumCores() != 64 {
+		t.Errorf("cores %d", s.NumCores())
+	}
+	if s.Mem.Banks() != 64 {
+		t.Errorf("banks %d", s.Mem.Banks())
+	}
+	if s.RT.Mesh() != s.Mesh {
+		t.Error("runtime sees a different mesh")
+	}
+}
+
+func TestAllocPerMode(t *testing.T) {
+	spec := core.AffineSpec{ElemSize: 4, NumElem: 1 << 12, Partition: true}
+	aff := MustNew(DefaultConfig())
+	ai, err := aff.Alloc(AffAlloc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Interleave == 0 {
+		t.Error("AffAlloc Alloc ignored the affinity spec")
+	}
+	base := MustNew(DefaultConfig())
+	bi, err := base.Alloc(NearL3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Interleave != 0 {
+		t.Error("NearL3 Alloc used the affinity allocator")
+	}
+}
+
+func TestCollectMetrics(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	spec := core.AffineSpec{ElemSize: 4, NumElem: 1 << 12}
+	a, err := s.Alloc(AffAlloc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PreloadArray(a)
+	done, _ := s.Mem.Access(0, a.Base, false)
+	m := s.Collect(done)
+	if m.Cycles != done {
+		t.Errorf("cycles %d, want %d", m.Cycles, done)
+	}
+	if m.L3Accesses != 1 || m.L3MissRate != 0 {
+		t.Errorf("L3 stats %d/%f", m.L3Accesses, m.L3MissRate)
+	}
+	if m.EnergyTotal <= 0 {
+		t.Error("no energy estimated")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if InCore.String() != "In-Core" || NearL3.String() != "Near-L3" || AffAlloc.String() != "Aff-Alloc" {
+		t.Error("mode names changed")
+	}
+	if len(Modes) != 3 {
+		t.Error("Modes list wrong")
+	}
+}

@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"testing"
+
+	"affinityalloc/internal/graph"
+	"affinityalloc/internal/sys"
+)
+
+// TestDynGraphCrossMode: the §8 evolving-graph extension computes the
+// same structure and ranks under every configuration, and affinity
+// allocation still pays off with mutation in the loop.
+func TestDynGraphCrossMode(t *testing.T) {
+	w := DynGraph{G: graph.Kronecker(10, 8, 42), Batches: 2, UpdatesPerBatch: 1024}
+	results := map[sys.Mode]Result{}
+	var base Result
+	for i, mode := range sys.Modes {
+		res, err := Run(sys.DefaultConfig(), w, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if i == 0 {
+			base = res
+		} else if res.Checksum != base.Checksum {
+			t.Errorf("%v evolved a different graph (checksum %x vs %x)", mode, res.Checksum, base.Checksum)
+		}
+		results[mode] = res
+	}
+	if results[sys.AffAlloc].Metrics.FlitHops >= results[sys.NearL3].Metrics.FlitHops {
+		t.Errorf("dynamic Aff-Alloc traffic %d >= Near-L3 %d",
+			results[sys.AffAlloc].Metrics.FlitHops, results[sys.NearL3].Metrics.FlitHops)
+	}
+	if results[sys.AffAlloc].Metrics.Cycles >= results[sys.NearL3].Metrics.Cycles {
+		t.Errorf("dynamic Aff-Alloc %d cycles >= Near-L3 %d",
+			results[sys.AffAlloc].Metrics.Cycles, results[sys.NearL3].Metrics.Cycles)
+	}
+}

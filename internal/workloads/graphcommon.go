@@ -1,0 +1,361 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/dstruct"
+	"affinityalloc/internal/graph"
+	"affinityalloc/internal/memsim"
+	"affinityalloc/internal/sys"
+)
+
+// graphData is a graph materialized in simulated memory for one mode:
+//
+//   - In-Core / Near-L3: the original CSR (index + edge arrays) from the
+//     baseline allocator, a global work queue, and property arrays laid
+//     out obliviously;
+//   - Aff-Alloc: a partitioned property array, the Linked CSR co-designed
+//     format with each edge node allocated near the properties its edges
+//     target (§5.3), per-vertex head pointers aligned to the partition,
+//     and the spatially distributed queue (Fig 9).
+type graphData struct {
+	mode sys.Mode
+	g    *graph.Graph
+	gt   *graph.Graph
+
+	// prop is the indirect-access target (levels, distances, ranks).
+	prop *core.ArrayInfo
+	// prop2 is a second elementwise property (e.g. PageRank sums).
+	prop2 *core.ArrayInfo
+
+	// Original CSR (In-Core / Near-L3).
+	idx, edges     *core.ArrayInfo
+	idxT, edgesT   *core.ArrayInfo
+	weightsPerEdge int // bytes per edge for traffic accounting
+
+	// Linked CSR (Aff-Alloc).
+	lcsr, lcsrT *dstruct.LinkedCSR
+	heads       *core.ArrayInfo // per-vertex chain head pointers
+	headsT      *core.ArrayInfo // transpose chain head pointers
+
+	// Work queues.
+	gq *dstruct.GlobalQueue
+	sq *dstruct.SpatialQueue
+
+	// edgeMap / edgeMapT, when set, override the CSR edge-slot address
+	// mapping — the Fig-6 chunked-placement study's hook.
+	edgeMap  func(i int64) memsim.Addr
+	edgeMapT func(i int64) memsim.Addr
+	// idealInd eliminates indirect-request traffic entirely (Fig 6's
+	// "Ind-Ideal"): every indirect operation issues from its target's
+	// own bank.
+	idealInd bool
+}
+
+// EdgeOracle configures the Fig-6 idealized chunked-CSR placement study:
+// the edge array is broken into ChunkBytes chunks, each placed on the L3
+// bank minimizing its indirect traffic subject to a 2% load-imbalance
+// cap. ChunkBytes == 0 requests the "Ind-Ideal" upper bound, where
+// indirect operations cost no request traffic at all.
+type EdgeOracle struct {
+	ChunkBytes int
+}
+
+// graphSetup describes what a graph workload needs materialized.
+type graphSetup struct {
+	needPull   bool // transpose structures
+	needQueue  bool // frontier queue
+	needProp2  bool // second property array
+	propElem   int  // property element size in bytes
+	prop2Elem  int
+	queueSlack int64 // extra queue capacity factor (sssp re-pushes), >= 1
+	oracle     *EdgeOracle
+	// oracleTargetProp2 points the oracle's placement at prop2 (the
+	// array push-PageRank's indirect ops actually target).
+	oracleTargetProp2 bool
+	// nodeBytes overrides the linked-CSR node size (ablation; 0 = 64B).
+	nodeBytes int
+}
+
+func buildGraphData(s *sys.System, mode sys.Mode, g, gt *graph.Graph, setup graphSetup) (*graphData, error) {
+	if setup.propElem == 0 {
+		setup.propElem = 4
+	}
+	if setup.prop2Elem == 0 {
+		setup.prop2Elem = setup.propElem
+	}
+	if setup.queueSlack < 1 {
+		setup.queueSlack = 1
+	}
+	gd := &graphData{mode: mode, g: g, gt: gt}
+	n := int64(g.N)
+
+	// Property arrays: partitioned under Aff-Alloc so partition p lives
+	// on bank p (Fig 9), oblivious otherwise.
+	var err error
+	gd.prop, err = s.Alloc(mode, core.AffineSpec{ElemSize: setup.propElem, NumElem: n, Partition: true})
+	if err != nil {
+		return nil, err
+	}
+	s.PreloadArray(gd.prop)
+	if setup.needProp2 {
+		spec := core.AffineSpec{ElemSize: setup.prop2Elem, NumElem: n}
+		if mode == sys.AffAlloc {
+			spec.AlignTo = gd.prop.Base
+		}
+		gd.prop2, err = s.Alloc(mode, spec)
+		if err != nil {
+			return nil, err
+		}
+		s.PreloadArray(gd.prop2)
+	}
+
+	if mode == sys.AffAlloc {
+		nodeBytes := setup.nodeBytes
+		if nodeBytes == 0 {
+			nodeBytes = dstruct.CSRNodeBytes
+		}
+		alloc := dstruct.Alloc{RT: s.RT, Affinity: true}
+		gd.lcsr, err = dstruct.BuildLinkedCSRSized(alloc, g, gd.prop, nodeBytes)
+		if err != nil {
+			return nil, err
+		}
+		preloadLinkedCSR(s, gd.lcsr)
+		if setup.needPull {
+			gd.lcsrT, err = dstruct.BuildLinkedCSRSized(alloc, gt, gd.prop, nodeBytes)
+			if err != nil {
+				return nil, err
+			}
+			preloadLinkedCSR(s, gd.lcsrT)
+		}
+		headSpec := core.AffineSpec{ElemSize: 8, NumElem: n, AlignTo: gd.prop.Base}
+		gd.heads, err = s.RT.AllocAffine(headSpec)
+		if err != nil {
+			return nil, err
+		}
+		s.PreloadArray(gd.heads)
+		if setup.needPull {
+			gd.headsT, err = s.RT.AllocAffine(headSpec)
+			if err != nil {
+				return nil, err
+			}
+			s.PreloadArray(gd.headsT)
+		}
+		if setup.needQueue {
+			gd.sq, err = dstruct.NewSpatialQueue(s.RT, gd.prop, int64(s.NumCores()), setup.queueSlack)
+			if err != nil {
+				return nil, err
+			}
+			s.PreloadArray(gd.sq.Info())
+			s.PreloadArray(gd.sq.TailsInfo())
+		}
+		return gd, nil
+	}
+
+	// Conventional CSR.
+	perEdge := 4
+	if g.Weights != nil {
+		perEdge = 8
+	}
+	gd.weightsPerEdge = perEdge
+	gd.idx, err = s.Alloc(mode, core.AffineSpec{ElemSize: 8, NumElem: n + 1})
+	if err != nil {
+		return nil, err
+	}
+	gd.edges, err = s.Alloc(mode, core.AffineSpec{ElemSize: perEdge, NumElem: g.NumEdges()})
+	if err != nil {
+		return nil, err
+	}
+	s.PreloadArray(gd.idx)
+	s.PreloadArray(gd.edges)
+	if setup.needPull {
+		gd.idxT, err = s.Alloc(mode, core.AffineSpec{ElemSize: 8, NumElem: n + 1})
+		if err != nil {
+			return nil, err
+		}
+		gd.edgesT, err = s.Alloc(mode, core.AffineSpec{ElemSize: perEdge, NumElem: gt.NumEdges()})
+		if err != nil {
+			return nil, err
+		}
+		s.PreloadArray(gd.idxT)
+		s.PreloadArray(gd.edgesT)
+	}
+	if setup.needQueue {
+		gd.gq, err = dstruct.NewGlobalQueue(s.RT, n*setup.queueSlack+1)
+		if err != nil {
+			return nil, err
+		}
+		s.Mem.Preload(gd.gq.TailAddr(), 8)
+		s.Mem.Preload(gd.gq.SlotAddr(0), 4*(n*setup.queueSlack+1))
+	}
+	if setup.oracle != nil {
+		target := gd.prop
+		if setup.oracleTargetProp2 {
+			target = gd.prop2
+		}
+		if setup.oracle.ChunkBytes == 0 {
+			gd.idealInd = true
+		} else {
+			gd.edgeMap, err = placeChunkedEdges(s, g.Edges, target, setup.oracle.ChunkBytes, perEdge)
+			if err != nil {
+				return nil, err
+			}
+			if setup.needPull {
+				gd.edgeMapT, err = placeChunkedEdges(s, gt.Edges, gd.prop, setup.oracle.ChunkBytes, perEdge)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return gd, nil
+}
+
+// placeChunkedEdges implements the Fig-6 oracle: break the edge array
+// into fixed-size chunks and place each on the bank minimizing the total
+// hop distance to the property entries its edges target, subject to a 2%%
+// load-imbalance cap (chunks with the least traffic reduction spill to
+// the least occupied bank, as the paper's footnote describes).
+func placeChunkedEdges(s *sys.System, edges []int32, prop *core.ArrayInfo, chunkBytes, perEdge int) (func(i int64) memsim.Addr, error) {
+	epc := int64(chunkBytes / perEdge)
+	if epc < 1 {
+		epc = 1
+	}
+	nEdges := int64(len(edges))
+	nChunks := (nEdges + epc - 1) / epc
+	nb := s.Mesh.Banks()
+
+	best := make([]int, nChunks)
+	benefit := make([]float64, nChunks)
+	load := make([]int64, nb)
+	hist := make([]int64, nb)
+	for j := int64(0); j < nChunks; j++ {
+		for b := range hist {
+			hist[b] = 0
+		}
+		lo, hi := j*epc, (j+1)*epc
+		if hi > nEdges {
+			hi = nEdges
+		}
+		for i := lo; i < hi; i++ {
+			hist[s.Mem.BankOf(prop.ElemAddr(int64(edges[i])))]++
+		}
+		bestBank, bestCost, sumCost := 0, int64(1)<<62, int64(0)
+		for b := 0; b < nb; b++ {
+			var cost int64
+			for tb, cnt := range hist {
+				if cnt > 0 {
+					cost += cnt * int64(s.Mesh.Hops(b, tb))
+				}
+			}
+			sumCost += cost
+			if cost < bestCost {
+				bestBank, bestCost = b, cost
+			}
+		}
+		best[j] = bestBank
+		benefit[j] = float64(sumCost)/float64(nb) - float64(bestCost)
+		load[bestBank]++
+	}
+
+	// Enforce the 2% imbalance cap by spilling least-beneficial chunks.
+	cap64 := int64(float64(nChunks)/float64(nb)*1.02) + 1
+	order := make([]int64, nChunks)
+	for j := range order {
+		order[j] = int64(j)
+	}
+	sort.Slice(order, func(a, b int) bool { return benefit[order[a]] < benefit[order[b]] })
+	for _, j := range order {
+		b := best[j]
+		if load[b] <= cap64 {
+			continue
+		}
+		min := 0
+		for cand := 1; cand < nb; cand++ {
+			if load[cand] < load[min] {
+				min = cand
+			}
+		}
+		load[b]--
+		load[min]++
+		best[j] = min
+	}
+
+	// Materialize the placement through the allocator's oracle API.
+	bases := make([]memsim.Addr, nChunks)
+	for j := int64(0); j < nChunks; j++ {
+		addr, err := s.RT.AllocAtBank(int64(chunkBytes), best[j])
+		if err != nil {
+			return nil, err
+		}
+		bases[j] = addr
+		s.Mem.Preload(addr, int64(chunkBytes))
+	}
+	return func(i int64) memsim.Addr {
+		j := i / epc
+		return bases[j] + memsim.Addr((i%epc)*int64(perEdge))
+	}, nil
+}
+
+func preloadLinkedCSR(s *sys.System, lc *dstruct.LinkedCSR) {
+	for _, chain := range lc.Chains {
+		for _, node := range chain {
+			s.Mem.Preload(node.Addr, int64(lc.NodeBytes()))
+		}
+	}
+}
+
+// edgeAddr returns the simulated address of edge slot i in a CSR edge
+// array (including its weight bytes).
+func (gd *graphData) edgeAddr(i int64) memsim.Addr {
+	if gd.edgeMap != nil {
+		return gd.edgeMap(i)
+	}
+	return gd.edges.ElemAddr(i)
+}
+
+// edgeAddrT is edgeAddr for the transpose.
+func (gd *graphData) edgeAddrT(i int64) memsim.Addr {
+	if gd.edgeMapT != nil {
+		return gd.edgeMapT(i)
+	}
+	return gd.edgesT.ElemAddr(i)
+}
+
+// indirectFrom returns the bank an indirect operation on target address
+// va issues from: the edge stream's bank normally, the target's own bank
+// under the Ind-Ideal oracle.
+func (gd *graphData) indirectFrom(s *sys.System, eBank int, va memsim.Addr) int {
+	if gd.idealInd {
+		return s.Mem.BankOf(va)
+	}
+	return eBank
+}
+
+// headAddr returns the address holding vertex u's edge-list metadata:
+// the linked-CSR head pointer under Aff-Alloc, the CSR index entry
+// otherwise.
+func (gd *graphData) headAddr(u int32) memsim.Addr {
+	if gd.mode == sys.AffAlloc {
+		return gd.heads.ElemAddr(int64(u))
+	}
+	return gd.idx.ElemAddr(int64(u))
+}
+
+// headAddrT is headAddr for the transpose structures.
+func (gd *graphData) headAddrT(v int32) memsim.Addr {
+	if gd.mode == sys.AffAlloc {
+		return gd.headsT.ElemAddr(int64(v))
+	}
+	return gd.idxT.ElemAddr(int64(v))
+}
+
+// validateMode guards against double setup.
+func (gd *graphData) validateMode(mode sys.Mode) error {
+	if gd.mode != mode {
+		return fmt.Errorf("workloads: graph data built for %v used under %v", gd.mode, mode)
+	}
+	return nil
+}

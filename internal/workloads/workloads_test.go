@@ -1,0 +1,270 @@
+package workloads
+
+import (
+	"testing"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/graph"
+	"affinityalloc/internal/sys"
+)
+
+// tinyWorkloads returns every benchmark at sizes that run in
+// milliseconds.
+func tinyWorkloads() []Workload {
+	g := graph.Kronecker(11, 8, 42)
+	gt := g.Transpose()
+	wg := graph.Kronecker(11, 8, 42)
+	wg.AddUniformWeights(1, 255, 42)
+	return []Workload{
+		VecAdd{N: 1 << 15, ForceDelta: -1},
+		Pathfinder{Cols: 16 * 1024, Steps: 2},
+		NewHotspot(64, 512, 2),
+		NewSrad(32, 512, 1),
+		Hotspot3D{Rows: 16, Cols: 256, Layers: 4, Iters: 2},
+		PageRank{G: g, GT: gt, Iters: 2, Best: true},
+		PageRank{G: g, GT: gt, Iters: 2, Dir: graph.Push},
+		PageRank{G: g, GT: gt, Iters: 2, Dir: graph.Pull},
+		BFS{G: g, GT: gt, Src: -1},
+		BFS{G: g, GT: gt, Policy: graph.PushOnly{}, Src: -1},
+		BFS{G: g, GT: gt, Policy: graph.PullOnly{}, Src: -1},
+		SSSP{G: wg, Src: -1},
+		LinkList{Lists: 60, Nodes: 64, Queries: 1},
+		HashJoin{BuildRows: 4 << 10, ProbeRows: 8 << 10, Buckets: 1 << 10, HitRate: 0.125},
+		BinTree{Keys: 4 << 10, Lookups: 8 << 10},
+	}
+}
+
+// TestCrossModeChecksums is the core functional guarantee: every
+// configuration — different layouts, different data structures, different
+// execution engines — computes the identical result.
+func TestCrossModeChecksums(t *testing.T) {
+	for _, w := range tinyWorkloads() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			var base Result
+			for i, mode := range sys.Modes {
+				res, err := Run(sys.DefaultConfig(), w, mode)
+				if err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				if res.Metrics.Cycles == 0 {
+					t.Errorf("%v: zero cycles", mode)
+				}
+				if i == 0 {
+					base = res
+				} else if res.Checksum != base.Checksum {
+					t.Errorf("%v checksum %x != In-Core %x", mode, res.Checksum, base.Checksum)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism: identical configuration and seed give bit-identical
+// metrics.
+func TestDeterminism(t *testing.T) {
+	w := BFS{G: graph.Kronecker(11, 8, 42), GT: nil, Policy: graph.PushOnly{}, Src: -1}
+	r1, err := Run(sys.DefaultConfig(), w, sys.AffAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sys.DefaultConfig(), w, sys.AffAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics.Cycles != r2.Metrics.Cycles || r1.Metrics.FlitHops != r2.Metrics.FlitHops {
+		t.Errorf("nondeterministic: %v/%v vs %v/%v",
+			r1.Metrics.Cycles, r1.Metrics.FlitHops, r2.Metrics.Cycles, r2.Metrics.FlitHops)
+	}
+}
+
+// TestAffinityImprovesOverOblivious asserts the headline direction: the
+// affinity configuration beats the oblivious one on the workloads where
+// the paper's effect is structural (aligned affine kernels, colocated
+// pointer chasing, local graph pushes).
+func TestAffinityImprovesOverOblivious(t *testing.T) {
+	g := graph.Kronecker(11, 8, 42)
+	gt := g.Transpose()
+	ws := []Workload{
+		VecAdd{N: 1 << 15, ForceDelta: -1},
+		Pathfinder{Cols: 16 * 1024, Steps: 2},
+		NewHotspot(64, 512, 2),
+		BFS{G: g, GT: gt, Policy: graph.PushOnly{}, Src: -1},
+		LinkList{Lists: 60, Nodes: 64, Queries: 1},
+		HashJoin{BuildRows: 4 << 10, ProbeRows: 8 << 10, Buckets: 1 << 10, HitRate: 0.125},
+		BinTree{Keys: 4 << 10, Lookups: 8 << 10},
+	}
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			near, err := Run(sys.DefaultConfig(), w, sys.NearL3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aff, err := Run(sys.DefaultConfig(), w, sys.AffAlloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if aff.Metrics.Cycles >= near.Metrics.Cycles {
+				t.Errorf("Aff-Alloc %d cycles >= Near-L3 %d", aff.Metrics.Cycles, near.Metrics.Cycles)
+			}
+			if aff.Metrics.FlitHops >= near.Metrics.FlitHops {
+				t.Errorf("Aff-Alloc traffic %d >= Near-L3 %d", aff.Metrics.FlitHops, near.Metrics.FlitHops)
+			}
+		})
+	}
+}
+
+// TestVecAddAlignmentEliminatesDataTraffic: with perfect alignment the
+// forwarding traffic disappears entirely (Fig 3c).
+func TestVecAddAlignmentEliminatesDataTraffic(t *testing.T) {
+	res, err := Run(sys.DefaultConfig(), VecAdd{N: 1 << 15, ForceDelta: -1}, sys.AffAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, _ := res.Metrics.DataHops()
+	if d != 0 {
+		t.Errorf("aligned vecadd still moved %d data flit-hops", d)
+	}
+}
+
+// TestVecAddDeltaSweep: the forced-misalignment sweep behaves like Fig 4
+// — aligned is fastest and every NSC point beats In-Core.
+func TestVecAddDeltaSweep(t *testing.T) {
+	cfg := sys.DefaultConfig()
+	inCore, err := Run(cfg, VecAdd{N: 1 << 15, ForceDelta: -1}, sys.InCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned, err := Run(cfg, VecAdd{N: 1 << 15, ForceDelta: 0}, sys.AffAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []int{4, 20, 36} {
+		r, err := Run(cfg, VecAdd{N: 1 << 15, ForceDelta: delta}, sys.AffAlloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Metrics.Cycles < aligned.Metrics.Cycles {
+			t.Errorf("Δ%d (%d cycles) beat aligned (%d)", delta, r.Metrics.Cycles, aligned.Metrics.Cycles)
+		}
+		if r.Metrics.Cycles > inCore.Metrics.Cycles {
+			t.Errorf("Δ%d (%d cycles) slower than In-Core (%d)", delta, r.Metrics.Cycles, inCore.Metrics.Cycles)
+		}
+	}
+}
+
+// TestBFSPushPullTradeoff: offloading shifts the push/pull trade-off
+// toward pushing (§7.2) — the push:pull cost ratio shrinks from In-Core
+// to the NSC configurations.
+func TestBFSPushPullTradeoff(t *testing.T) {
+	g := graph.Kronecker(11, 8, 42)
+	gt := g.Transpose()
+	ratio := func(mode sys.Mode) float64 {
+		push, err := Run(sys.DefaultConfig(), BFS{G: g, GT: gt, Policy: graph.PushOnly{}, Src: -1}, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pull, err := Run(sys.DefaultConfig(), BFS{G: g, GT: gt, Policy: graph.PullOnly{}, Src: -1}, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(push.Metrics.Cycles) / float64(pull.Metrics.Cycles)
+	}
+	inCore := ratio(sys.InCore)
+	aff := ratio(sys.AffAlloc)
+	if aff >= inCore {
+		t.Errorf("push:pull cost ratio In-Core %.2f vs Aff-Alloc %.2f — offloading should favor pushing", inCore, aff)
+	}
+}
+
+// TestMinHopPathologyOnTree reproduces Fig 13's key negative result: pure
+// affinity placement collapses on a tree because everything lands on the
+// root's bank.
+func TestMinHopPathologyOnTree(t *testing.T) {
+	w := BinTree{Keys: 4 << 10, Lookups: 8 << 10}
+	run := func(p core.PolicyConfig) Result {
+		cfg := sys.DefaultConfig()
+		cfg.Policy = p
+		res, err := Run(cfg, w, sys.AffAlloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	minHop := run(core.PolicyConfig{Policy: core.MinHop})
+	hybrid := run(core.PolicyConfig{Policy: core.Hybrid, H: 5})
+	if minHop.Metrics.Cycles < 2*hybrid.Metrics.Cycles {
+		t.Errorf("Min-Hop (%d cycles) not pathological vs Hybrid-5 (%d)", minHop.Metrics.Cycles, hybrid.Metrics.Cycles)
+	}
+}
+
+// TestSpatialQueueBeatsGlobal: the Fig-9 co-design pays off — a global
+// queue under the same affinity layout costs more traffic.
+func TestSpatialQueueBeatsGlobal(t *testing.T) {
+	g := graph.Kronecker(11, 8, 42)
+	gt := g.Transpose()
+	spatial, err := Run(sys.DefaultConfig(), BFS{G: g, GT: gt, Policy: graph.PushOnly{}, Src: -1}, sys.AffAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := Run(sys.DefaultConfig(), BFS{G: g, GT: gt, Policy: graph.PushOnly{}, Src: -1, ForceGlobalQueue: true}, sys.AffAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spatial.Checksum != global.Checksum {
+		t.Error("queue choice changed the BFS result")
+	}
+	if spatial.Metrics.FlitHops >= global.Metrics.FlitHops {
+		t.Errorf("spatial queue traffic %d >= global %d", spatial.Metrics.FlitHops, global.Metrics.FlitHops)
+	}
+}
+
+// TestEdgeOracleReducesIndirectTraffic: the Fig-6 oracle placements cut
+// traffic monotonically-ish with finer chunks and the ideal bound is the
+// lowest.
+func TestEdgeOracleReducesIndirectTraffic(t *testing.T) {
+	// The property array must span enough banks for placement to have
+	// leverage; a tiny graph's 8kB level array touches only 8 banks.
+	g := graph.Kronecker(13, 10, 42)
+	run := func(oracle *EdgeOracle) Result {
+		w := BFS{G: g, GT: nil, Policy: graph.PushOnly{}, Src: -1, Oracle: oracle}
+		res, err := Run(sys.DefaultConfig(), w, sys.NearL3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(nil)
+	fine := run(&EdgeOracle{ChunkBytes: 64})
+	ideal := run(&EdgeOracle{ChunkBytes: 0})
+	if base.Checksum != fine.Checksum || base.Checksum != ideal.Checksum {
+		t.Fatal("oracle changed the result")
+	}
+	if fine.Metrics.FlitHops >= base.Metrics.FlitHops {
+		t.Errorf("64B oracle traffic %d >= base %d", fine.Metrics.FlitHops, base.Metrics.FlitHops)
+	}
+	if ideal.Metrics.FlitHops >= fine.Metrics.FlitHops {
+		t.Errorf("ideal traffic %d >= 64B oracle %d", ideal.Metrics.FlitHops, fine.Metrics.FlitHops)
+	}
+}
+
+// TestPointerWorkloadsLoadBalance: Hybrid spreads irregular allocations
+// while keeping per-structure affinity.
+func TestPointerWorkloadsLoadBalance(t *testing.T) {
+	s := sys.MustNew(sys.DefaultConfig())
+	w := LinkList{Lists: 60, Nodes: 64, Queries: 1}
+	if _, err := w.Run(s, sys.AffAlloc); err != nil {
+		t.Fatal(err)
+	}
+	loads := s.RT.LoadVector()
+	nonzero := 0
+	for _, l := range loads {
+		if l > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 32 {
+		t.Errorf("irregular allocations on only %d banks", nonzero)
+	}
+}
