@@ -1,11 +1,17 @@
-// Command affsim runs one benchmark or one paper experiment on the
-// simulated system and prints paper-shaped output.
+// Command affsim runs one benchmark, one paper experiment, or the whole
+// evaluation on the simulated system and prints paper-shaped output.
 //
 // Usage:
 //
 //	affsim -list
-//	affsim -exp fig12 [-scale tiny|default|paper] [-seed N]
+//	affsim -exp fig12 [-scale tiny|default|paper] [-seed N] [-j N]
+//	affsim -all [-scale ...] [-seed N] [-j N] [-timing]
 //	affsim -workload bfs [-scale ...] [-policy hybrid5|minhop|rnd|lnr]
+//
+// Independent simulation cells (workload × configuration runs) execute
+// across -j worker goroutines; results are aggregated in a fixed order,
+// so the rendered figures are byte-identical for every -j. Timing
+// accounting goes to stderr, keeping stdout deterministic.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"affinityalloc/internal/core"
 	"affinityalloc/internal/harness"
@@ -25,9 +32,12 @@ func main() {
 	var (
 		list     = flag.Bool("list", false, "list experiments and workloads")
 		exp      = flag.String("exp", "", "experiment id to regenerate (fig4, fig6, fig12, ...)")
+		all      = flag.Bool("all", false, "regenerate every experiment")
 		workload = flag.String("workload", "", "workload to run under all three configurations")
 		scaleStr = flag.String("scale", "default", "experiment scale: tiny|default|paper")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		jobs     = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
+		timing   = flag.Bool("timing", false, "report per-cell wall time and sim-cycles/s on stderr")
 		policy   = flag.String("policy", "hybrid5", "bank policy: rnd|lnr|minhop|hybrid1|hybrid3|hybrid5|hybrid7")
 	)
 	flag.Parse()
@@ -36,7 +46,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := harness.Options{Scale: scale, Seed: *seed}
+	opt := harness.Options{Scale: scale, Seed: *seed, Jobs: *jobs}
 
 	switch {
 	case *list:
@@ -48,16 +58,29 @@ func main() {
 		for _, w := range workloadSet(opt) {
 			fmt.Printf("  %s\n", w.Name())
 		}
+	case *all:
+		if err := harness.RunAll(opt, os.Stdout, nil, os.Stderr, *timing); err != nil {
+			fatal(err)
+		}
 	case *exp != "":
 		e, ok := harness.Lookup(*exp)
 		if !ok {
 			fatal(fmt.Errorf("unknown experiment %q (try -list)", *exp))
 		}
+		opt.Timing = &harness.Timing{}
+		start := time.Now()
 		fig, err := e.Run(opt)
 		if err != nil {
 			fatal(err)
 		}
 		fig.Render(os.Stdout)
+		if *timing {
+			opt.Timing.Report(os.Stderr)
+			n, cellWall, sim := opt.Timing.Summary()
+			fmt.Fprintf(os.Stderr, "%s: %d cells, wall %.2fs (cellsum %.2fs), sim %d cyc, %.1f Mcyc/s\n",
+				e.ID, n, time.Since(start).Seconds(), cellWall.Seconds(), uint64(sim),
+				float64(sim)/time.Since(start).Seconds()/1e6)
+		}
 	case *workload != "":
 		runWorkload(opt, *workload, *policy)
 	default:

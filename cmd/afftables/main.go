@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	afftables [-scale tiny|default|paper] [-seed N] [-o report.txt] [-only fig12,fig13]
+//	afftables [-scale tiny|default|paper] [-seed N] [-j N] [-timing]
+//	          [-o report.txt] [-only fig12,fig13]
+//
+// Experiments run concurrently across -j worker goroutines and their
+// figures are written in registry order, so the report is byte-identical
+// for every -j. Per-experiment timing goes to stderr, never into the
+// report.
 package main
 
 import (
@@ -13,7 +19,6 @@ import (
 	"io"
 	"os"
 	"strings"
-	"time"
 
 	"affinityalloc/internal/harness"
 )
@@ -22,6 +27,8 @@ func main() {
 	var (
 		scaleStr = flag.String("scale", "default", "experiment scale: tiny|default|paper")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		jobs     = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
+		timing   = flag.Bool("timing", false, "also report per-cell wall time and sim-cycles/s on stderr")
 		outPath  = flag.String("o", "", "output file (default stdout)")
 		only     = flag.String("only", "", "comma-separated experiment ids (default all)")
 	)
@@ -32,7 +39,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "afftables:", err)
 		os.Exit(1)
 	}
-	opt := harness.Options{Scale: scale, Seed: *seed}
+	opt := harness.Options{Scale: scale, Seed: *seed, Jobs: *jobs}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -53,17 +60,8 @@ func main() {
 	}
 
 	fmt.Fprintf(out, "# Affinity Alloc — regenerated evaluation (scale=%v, seed=%d)\n\n", scale, *seed)
-	for _, e := range harness.Experiments() {
-		if len(want) > 0 && !want[e.ID] {
-			continue
-		}
-		start := time.Now()
-		fig, err := e.Run(opt)
-		if err != nil {
-			fmt.Fprintf(out, "### %s — FAILED: %v\n\n", e.ID, err)
-			continue
-		}
-		fig.Render(out)
-		fmt.Fprintf(out, "(regenerated in %.1fs)\n\n", time.Since(start).Seconds())
+	if err := harness.RunAll(opt, out, want, os.Stderr, *timing); err != nil {
+		fmt.Fprintln(os.Stderr, "afftables:", err)
+		os.Exit(1)
 	}
 }

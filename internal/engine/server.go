@@ -22,6 +22,12 @@ type Server struct {
 // NewServer builds a resource with unitsPerCycle capacity, bucketed at
 // width cycles, remembering windowBuckets of schedule.
 func NewServer(unitsPerCycle int, width Time, windowBuckets int) *Server {
+	// Capacity below one unit/cycle would make perBucket zero and any
+	// Reserve spin forever hunting for free capacity; clamp like width
+	// and windowBuckets.
+	if unitsPerCycle < 1 {
+		unitsPerCycle = 1
+	}
 	if width < 1 {
 		width = 1
 	}

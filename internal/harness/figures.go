@@ -30,28 +30,35 @@ func Fig4(opt Options) (*Figure, error) {
 		"layout", "speedup", "hops.data", "hops.control", "hops.offload", "hops.total")
 
 	cfg := baseConfig(opt, core.DefaultPolicy())
-	inCore, err := workloads.Run(cfg, workloads.VecAdd{N: n, ForceDelta: -1}, sys.InCore)
-	if err != nil {
-		return nil, err
+	type variant struct {
+		name string
+		w    workloads.VecAdd
+		mode sys.Mode
 	}
-	addRow := func(name string, r workloads.Result) {
-		d, c, o := trafficCols(r, inCore)
-		tbl.AddRow(name, speedup(r, inCore), d, c, o, d+c+o)
-	}
-	addRow("In-Core", inCore)
-
+	variants := []variant{{"In-Core", workloads.VecAdd{N: n, ForceDelta: -1}, sys.InCore}}
 	for delta := 0; delta <= 64; delta += 4 {
-		r, err := workloads.Run(cfg, workloads.VecAdd{N: n, ForceDelta: delta}, sys.AffAlloc)
-		if err != nil {
-			return nil, err
-		}
-		addRow(fmt.Sprintf("Δ Bank %d", delta), r)
+		variants = append(variants,
+			variant{fmt.Sprintf("Δ Bank %d", delta), workloads.VecAdd{N: n, ForceDelta: delta}, sys.AffAlloc})
 	}
-	random, err := workloads.Run(cfg, workloads.VecAdd{N: n, ForceDelta: -1}, sys.NearL3)
+	variants = append(variants, variant{"Random", workloads.VecAdd{N: n, ForceDelta: -1}, sys.NearL3})
+
+	cells := make([]cell, len(variants))
+	for i, v := range variants {
+		v := v
+		cells[i] = cell{
+			label: "vecadd/" + v.name,
+			run:   func() (workloads.Result, error) { return workloads.Run(cfg, v.w, v.mode) },
+		}
+	}
+	rs, err := runCells(opt, cells)
 	if err != nil {
 		return nil, err
 	}
-	addRow("Random", random)
+	inCore := rs[0]
+	for i, v := range variants {
+		d, c, o := trafficCols(rs[i], inCore)
+		tbl.AddRow(v.name, speedup(rs[i], inCore), d, c, o, d+c+o)
+	}
 
 	return &Figure{
 		ID:     "fig4",
@@ -71,12 +78,15 @@ func Fig12(opt Options) (*Figure, error) {
 	trf := stats.NewTable("Fig 12: NoC traffic (flit-hops normalized to In-Core) and utilization",
 		"workload", "cfg", "data", "control", "offload", "total", "util")
 
+	ws := allWorkloads(opt)
+	modeRes, err := runModesAll(opt, ws)
+	if err != nil {
+		return nil, err
+	}
+
 	var spIn, spAff, efIn, efAff, trAff []float64
-	for _, w := range allWorkloads(opt) {
-		res, err := runModes(opt, w)
-		if err != nil {
-			return nil, err
-		}
+	for wi, w := range ws {
+		res := modeRes[wi]
 		base := res[sys.NearL3]
 		spd.AddRow(w.Name(),
 			speedup(res[sys.InCore], base), 1.0, speedup(res[sys.AffAlloc], base),
@@ -143,28 +153,38 @@ func Fig13(opt Options) (*Figure, error) {
 	trf := stats.NewTable("Fig 13: total NoC flit-hops by policy (normalized to Rnd)",
 		"workload", "Rnd", "Lnr", "Min-Hop", "Hybrid-1", "Hybrid-3", "Hybrid-5", "Hybrid-7")
 
+	ws := irregularWorkloads(opt)
+	cells := make([]cell, 0, len(ws)*len(policies))
+	for _, w := range ws {
+		for _, p := range policies {
+			w, p := w, p
+			cells = append(cells, cell{
+				label: fmt.Sprintf("%s/%s", w.Name(), name(p)),
+				run: func() (workloads.Result, error) {
+					return workloads.Run(baseConfig(opt, p), w, sys.AffAlloc)
+				},
+			})
+		}
+	}
+	rs, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	perPolicy := make(map[string][]float64)
-	for _, w := range irregularWorkloads(opt) {
-		var cells []interface{}
-		var tcells []interface{}
-		cells = append(cells, w.Name())
-		tcells = append(tcells, w.Name())
-		var base workloads.Result
-		for i, p := range policies {
-			r, err := workloads.Run(baseConfig(opt, p), w, sys.AffAlloc)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", w.Name(), name(p), err)
-			}
-			if i == 0 {
-				base = r
-			}
+	for wi, w := range ws {
+		row := []interface{}{w.Name()}
+		trow := []interface{}{w.Name()}
+		base := rs[wi*len(policies)]
+		for pi, p := range policies {
+			r := rs[wi*len(policies)+pi]
 			sp := speedup(r, base)
-			cells = append(cells, sp)
-			tcells = append(tcells, float64(r.Metrics.FlitHops)/float64(maxU64(base.Metrics.FlitHops, 1)))
+			row = append(row, sp)
+			trow = append(trow, float64(r.Metrics.FlitHops)/float64(maxU64(base.Metrics.FlitHops, 1)))
 			perPolicy[name(p)] = append(perPolicy[name(p)], sp)
 		}
-		spd.AddRow(cells...)
-		trf.AddRow(tcells...)
+		spd.AddRow(row...)
+		trf.AddRow(trow...)
 	}
 	gm := []interface{}{"geomean"}
 	for _, p := range policies {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"affinityalloc/internal/core"
 	"affinityalloc/internal/engine"
@@ -11,10 +12,9 @@ import (
 	"affinityalloc/internal/workloads"
 )
 
-// fig6Workloads builds the five Fig-6 kernels with an oracle attached.
-func fig6Workloads(opt Options, oracle *workloads.EdgeOracle) []workloads.Workload {
-	g, gt := sharedGraph(opt)
-	wg := weightedSharedGraph(opt)
+// fig6Workloads builds the five Fig-6 kernels over prebuilt graphs with
+// an oracle attached.
+func fig6Workloads(opt Options, g, gt, wg *graph.Graph, oracle *workloads.EdgeOracle) []workloads.Workload {
 	iters := prIters(opt)
 	return []workloads.Workload{
 		workloads.PageRank{G: g, GT: gt, Iters: iters, Dir: graph.Push, Oracle: oracle},
@@ -49,20 +49,35 @@ func Fig6(opt Options) (*Figure, error) {
 
 	cfg := baseConfig(opt, core.DefaultPolicy())
 	names := []string{"pr_push", "bfs_push", "sssp", "pr_pull", "bfs_pull"}
+	g, gt := sharedGraph(opt)
+	wgr := weightedSharedGraph(opt)
+	byVariant := make([][]workloads.Workload, len(variants))
+	for vi, v := range variants {
+		byVariant[vi] = fig6Workloads(opt, g, gt, wgr, v.oracle)
+	}
+
+	cells := make([]cell, 0, len(names)*len(variants))
+	for wi := range names {
+		for vi, v := range variants {
+			w := byVariant[vi][wi]
+			cells = append(cells, cell{
+				label: fmt.Sprintf("fig6 %s/%s", names[wi], v.name),
+				run:   func() (workloads.Result, error) { return workloads.Run(cfg, w, sys.NearL3) },
+			})
+		}
+	}
+	rs, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	perVariant := make(map[string][]float64)
 	for wi := range names {
 		row := []interface{}{names[wi]}
 		trow := []interface{}{names[wi]}
-		var base workloads.Result
+		base := rs[wi*len(variants)]
 		for vi, v := range variants {
-			w := fig6Workloads(opt, v.oracle)[wi]
-			r, err := workloads.Run(cfg, w, sys.NearL3)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s/%s: %w", names[wi], v.name, err)
-			}
-			if vi == 0 {
-				base = r
-			}
+			r := rs[wi*len(variants)+vi]
 			sp := speedup(r, base)
 			row = append(row, sp)
 			trow = append(trow, float64(r.Metrics.FlitHops)/float64(maxU64(base.Metrics.FlitHops, 1)))
@@ -96,28 +111,31 @@ func Fig14(opt Options) (*Figure, error) {
 		{Policy: core.MinHop},
 		{Policy: core.Hybrid, H: 5},
 	}
-	var tables []*stats.Table
-	for _, p := range policies {
+	tables := make([]*stats.Table, len(policies))
+	err := opt.forEach(len(policies), func(pi int) error {
+		p := policies[pi]
 		name := p.Policy.String()
 		if p.Policy == core.Hybrid {
 			name = fmt.Sprintf("Hybrid-%d", int(p.H))
 		}
+		start := time.Now()
 		s, err := sys.New(baseConfig(opt, p))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tl := stats.NewTimeline(s.Mesh.Banks(), 1) // bucket width set after run
 		// First run to learn the duration, then rerun with ~16 buckets.
 		probe, err := w.Run(sys.MustNew(baseConfig(opt, p)), sys.AffAlloc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bucket := engine.Time(probe.Metrics.Cycles/16) + 1
-		tl = stats.NewTimeline(s.Mesh.Banks(), bucket)
+		tl := stats.NewTimeline(s.Mesh.Banks(), bucket)
 		s.SE.SetAtomicSampler(func(bank int, at engine.Time) { tl.Add(bank, at) })
-		if _, err := w.Run(s, sys.AffAlloc); err != nil {
-			return nil, err
+		res, err := w.Run(s, sys.AffAlloc)
+		if err != nil {
+			return err
 		}
+		opt.Timing.observe("fig14 bfs_push/"+name, time.Since(start), probe.Metrics.Cycles+res.Metrics.Cycles)
 
 		tbl := stats.NewTable(fmt.Sprintf("Fig 14: atomic ops per bank per window — %s (imbalance max/avg %.2f)", name, tl.Imbalance()),
 			"t/T", "min", "p25", "avg", "p75", "max")
@@ -125,7 +143,11 @@ func Fig14(opt Options) (*Figure, error) {
 			d := tl.Distribution(b)
 			tbl.AddRow(fmt.Sprintf("%.2f", float64(b)/float64(tl.Buckets())), d.Min, d.P25, d.Avg, d.P75, d.Max)
 		}
-		tables = append(tables, tbl)
+		tables[pi] = tbl
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Figure{
 		ID:     "fig14",
@@ -144,20 +166,36 @@ func Fig15(opt Options) (*Figure, error) {
 	// The host-scaled 1x inputs are ~8x smaller than the paper's, so the
 	// sweep extends to 16x to cross the 64MB LLC boundary the paper's 8x
 	// reaches.
+	cfg := baseConfig(opt, core.DefaultPolicy())
+	type point struct {
+		w    workloads.Workload
+		mult int64
+	}
+	var points []point
 	for _, mult := range []int64{1, 2, 4, 8, 16} {
 		for _, w := range affineWorkloads(opt, mult) {
-			cfg := baseConfig(opt, core.DefaultPolicy())
-			near, err := workloads.Run(cfg, w, sys.NearL3)
-			if err != nil {
-				return nil, err
-			}
-			aff, err := workloads.Run(cfg, w, sys.AffAlloc)
-			if err != nil {
-				return nil, err
-			}
-			tbl.AddRow(w.Name(), fmt.Sprintf("%dx", mult), speedup(aff, near),
-				aff.Metrics.L3MissRate, near.Metrics.L3MissRate)
+			points = append(points, point{w, mult})
 		}
+	}
+	modes := []sys.Mode{sys.NearL3, sys.AffAlloc}
+	cells := make([]cell, 0, len(points)*len(modes))
+	for _, pt := range points {
+		for _, mode := range modes {
+			pt, mode := pt, mode
+			cells = append(cells, cell{
+				label: fmt.Sprintf("fig15 %s %dx/%v", pt.w.Name(), pt.mult, mode),
+				run:   func() (workloads.Result, error) { return workloads.Run(cfg, pt.w, mode) },
+			})
+		}
+	}
+	rs, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range points {
+		near, aff := rs[2*i], rs[2*i+1]
+		tbl.AddRow(pt.w.Name(), fmt.Sprintf("%dx", pt.mult), speedup(aff, near),
+			aff.Metrics.L3MissRate, near.Metrics.L3MissRate)
 	}
 	return &Figure{
 		ID:     "fig15",
@@ -180,31 +218,57 @@ func Fig16(opt Options) (*Figure, error) {
 	}
 	tbl := stats.NewTable("Fig 16: graph workloads vs |V| (speedup over Near-L3)",
 		"workload", "|V|", "Hybrid-5", "Min-Hops", "l3miss.Hybrid5", "l3miss.NearL3")
-	for ds := 0; ds < 4; ds++ {
+	const sizes = 4
+	built := make([][]workloads.Workload, sizes)
+	if err := opt.forEach(sizes, func(ds int) error {
 		scale := baseScale + ds
 		g := graph.Kronecker(scale, deg, 42+opt.Seed)
 		gt := g.Transpose()
 		wg := graph.Kronecker(scale, deg, 42+opt.Seed)
 		wg.AddUniformWeights(1, 255, 42+opt.Seed)
-		ws := []workloads.Workload{
+		built[ds] = []workloads.Workload{
 			workloads.PageRank{G: g, GT: gt, Iters: prIters(opt), Dir: graph.Push},
 			workloads.BFS{G: g, GT: gt, Src: -1},
 			workloads.SSSP{G: wg, Src: -1},
 		}
-		for _, w := range ws {
-			near, err := workloads.Run(baseConfig(opt, core.DefaultPolicy()), w, sys.NearL3)
-			if err != nil {
-				return nil, err
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	runs := []struct {
+		name string
+		pcfg core.PolicyConfig
+		mode sys.Mode
+	}{
+		{"near", core.DefaultPolicy(), sys.NearL3},
+		{"hybrid5", core.PolicyConfig{Policy: core.Hybrid, H: 5}, sys.AffAlloc},
+		{"minhop", core.PolicyConfig{Policy: core.MinHop}, sys.AffAlloc},
+	}
+	var cells []cell
+	for ds := 0; ds < sizes; ds++ {
+		for _, w := range built[ds] {
+			for _, r := range runs {
+				w, r := w, r
+				cells = append(cells, cell{
+					label: fmt.Sprintf("fig16 2^%d %s/%s", baseScale+ds, w.Name(), r.name),
+					run: func() (workloads.Result, error) {
+						return workloads.Run(baseConfig(opt, r.pcfg), w, r.mode)
+					},
+				})
 			}
-			hy, err := workloads.Run(baseConfig(opt, core.PolicyConfig{Policy: core.Hybrid, H: 5}), w, sys.AffAlloc)
-			if err != nil {
-				return nil, err
-			}
-			mh, err := workloads.Run(baseConfig(opt, core.PolicyConfig{Policy: core.MinHop}), w, sys.AffAlloc)
-			if err != nil {
-				return nil, err
-			}
-			tbl.AddRow(w.Name(), fmt.Sprintf("2^%d", scale), speedup(hy, near), speedup(mh, near),
+		}
+	}
+	rs, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for ds := 0; ds < sizes; ds++ {
+		for _, w := range built[ds] {
+			near, hy, mh := rs[i], rs[i+1], rs[i+2]
+			i += len(runs)
+			tbl.AddRow(w.Name(), fmt.Sprintf("2^%d", baseScale+ds), speedup(hy, near), speedup(mh, near),
 				hy.Metrics.L3MissRate, near.Metrics.L3MissRate)
 		}
 	}
@@ -252,24 +316,44 @@ func Fig18(opt Options) (*Figure, error) {
 		}
 		return p.Name()
 	}
+	type timeline struct {
+		cycles uint64
+		line   string
+	}
+	rows := make([]timeline, len(sys.Modes)*len(policies))
+	err := opt.forEach(len(rows), func(i int) error {
+		mode := sys.Modes[i/len(policies)]
+		p := policies[i%len(policies)]
+		w := workloads.BFS{G: g, GT: gt, Policy: p, Src: -1}
+		start := time.Now()
+		s, err := sys.New(baseConfig(opt, core.DefaultPolicy()))
+		if err != nil {
+			return err
+		}
+		res, traces, err := w.RunTraced(s, mode)
+		if err != nil {
+			return err
+		}
+		opt.Timing.observe(fmt.Sprintf("fig18 %s/%v", polName(p, mode), mode), time.Since(start), res.Metrics.Cycles)
+		total := float64(res.Metrics.Cycles)
+		line := ""
+		for _, tr := range traces {
+			share := 100 * float64(tr.End-tr.Start) / total
+			line += fmt.Sprintf("%d:%s(%.0f%%) ", tr.Iter, tr.Dir, share)
+		}
+		rows[i] = timeline{cycles: uint64(res.Metrics.Cycles), line: line}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var tables []*stats.Table
-	for _, mode := range sys.Modes {
+	for mi, mode := range sys.Modes {
 		tbl := stats.NewTable(fmt.Sprintf("Fig 18: BFS iteration timeline — %v", mode),
 			"policy", "total.cycles", "iter:dir(share%)")
-		for _, p := range policies {
-			w := workloads.BFS{G: g, GT: gt, Policy: p, Src: -1}
-			s := sys.MustNew(baseConfig(opt, core.DefaultPolicy()))
-			res, traces, err := w.RunTraced(s, mode)
-			if err != nil {
-				return nil, err
-			}
-			total := float64(res.Metrics.Cycles)
-			line := ""
-			for _, tr := range traces {
-				share := 100 * float64(tr.End-tr.Start) / total
-				line += fmt.Sprintf("%d:%s(%.0f%%) ", tr.Iter, tr.Dir, share)
-			}
-			tbl.AddRow(polName(p, mode), uint64(res.Metrics.Cycles), line)
+		for pi, p := range policies {
+			row := rows[mi*len(policies)+pi]
+			tbl.AddRow(polName(p, mode), row.cycles, row.line)
 		}
 		tables = append(tables, tbl)
 	}
@@ -295,34 +379,58 @@ func Fig19(opt Options) (*Figure, error) {
 	}
 	tbl := stats.NewTable("Fig 19: speedup vs average degree (fixed |E|, normalized to Rnd)",
 		"workload", "D", "Hybrid-5", "Min-Hops", "Near-L3")
-	for _, d := range []int{4, 8, 16, 32, 64, 128} {
+	degrees := []int{4, 8, 16, 32, 64, 128}
+	built := make([][]workloads.Workload, len(degrees))
+	if err := opt.forEach(len(degrees), func(di int) error {
+		d := degrees[di]
 		n := int32(totalEdges / int64(d))
 		g := graph.PowerLaw(n, d, 7+opt.Seed)
 		gt := g.Transpose()
 		wg := graph.PowerLaw(n, d, 7+opt.Seed)
 		wg.AddUniformWeights(1, 255, 7+opt.Seed)
-		ws := []workloads.Workload{
+		built[di] = []workloads.Workload{
 			workloads.PageRank{G: g, GT: gt, Iters: prIters(opt), Dir: graph.Push},
 			workloads.BFS{G: g, GT: gt, Src: -1},
 			workloads.SSSP{G: wg, Src: -1},
 		}
-		for _, w := range ws {
-			rnd, err := workloads.Run(baseConfig(opt, core.PolicyConfig{Policy: core.Rnd}), w, sys.AffAlloc)
-			if err != nil {
-				return nil, err
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	runs := []struct {
+		name string
+		pcfg core.PolicyConfig
+		mode sys.Mode
+	}{
+		{"rnd", core.PolicyConfig{Policy: core.Rnd}, sys.AffAlloc},
+		{"hybrid5", core.PolicyConfig{Policy: core.Hybrid, H: 5}, sys.AffAlloc},
+		{"minhop", core.PolicyConfig{Policy: core.MinHop}, sys.AffAlloc},
+		{"near", core.DefaultPolicy(), sys.NearL3},
+	}
+	var cells []cell
+	for di, d := range degrees {
+		for _, w := range built[di] {
+			for _, r := range runs {
+				w, r := w, r
+				cells = append(cells, cell{
+					label: fmt.Sprintf("fig19 D%d %s/%s", d, w.Name(), r.name),
+					run: func() (workloads.Result, error) {
+						return workloads.Run(baseConfig(opt, r.pcfg), w, r.mode)
+					},
+				})
 			}
-			hy, err := workloads.Run(baseConfig(opt, core.PolicyConfig{Policy: core.Hybrid, H: 5}), w, sys.AffAlloc)
-			if err != nil {
-				return nil, err
-			}
-			mh, err := workloads.Run(baseConfig(opt, core.PolicyConfig{Policy: core.MinHop}), w, sys.AffAlloc)
-			if err != nil {
-				return nil, err
-			}
-			near, err := workloads.Run(baseConfig(opt, core.DefaultPolicy()), w, sys.NearL3)
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	rs, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for di, d := range degrees {
+		for _, w := range built[di] {
+			rnd, hy, mh, near := rs[i], rs[i+1], rs[i+2], rs[i+3]
+			i += len(runs)
 			tbl.AddRow(w.Name(), d, speedup(hy, rnd), speedup(mh, rnd), speedup(near, rnd))
 		}
 	}
@@ -377,31 +485,58 @@ func Fig20(opt Options) (*Figure, error) {
 		"graph", "workload", "Near-L3", "Min-Hops", "Hybrid-5")
 	trf := stats.NewTable("Fig 20: total NoC flit-hops (normalized to Near-L3)",
 		"graph", "workload", "Near-L3", "Min-Hops", "Hybrid-5")
-	var hySpeedups []float64
-	for _, ge := range table4Graphs(opt) {
-		g := ge.G
+	graphs := table4Graphs(opt)
+	built := make([][]workloads.Workload, len(graphs))
+	if err := opt.forEach(len(graphs), func(gi int) error {
+		g := graphs[gi].G
 		gt := g.Transpose()
 		// A weighted view for sssp that shares structure with g.
 		wg := &graph.Graph{N: g.N, Index: g.Index, Edges: g.Edges}
 		wg.AddUniformWeights(1, 255, 300+opt.Seed)
-		ws := []workloads.Workload{
+		built[gi] = []workloads.Workload{
 			workloads.PageRank{G: g, GT: gt, Iters: prIters(opt), Dir: graph.Push},
 			workloads.BFS{G: g, GT: gt, Src: -1},
 			workloads.SSSP{G: wg, Src: -1},
 		}
-		for _, w := range ws {
-			near, err := workloads.Run(baseConfig(opt, core.DefaultPolicy()), w, sys.NearL3)
-			if err != nil {
-				return nil, err
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	runs := []struct {
+		name string
+		pcfg core.PolicyConfig
+		mode sys.Mode
+	}{
+		{"near", core.DefaultPolicy(), sys.NearL3},
+		{"minhop", core.PolicyConfig{Policy: core.MinHop}, sys.AffAlloc},
+		{"hybrid5", core.PolicyConfig{Policy: core.Hybrid, H: 5}, sys.AffAlloc},
+	}
+	var cells []cell
+	for gi, ge := range graphs {
+		for _, w := range built[gi] {
+			for _, r := range runs {
+				w, r := w, r
+				cells = append(cells, cell{
+					label: fmt.Sprintf("fig20 %s %s/%s", ge.Name, w.Name(), r.name),
+					run: func() (workloads.Result, error) {
+						return workloads.Run(baseConfig(opt, r.pcfg), w, r.mode)
+					},
+				})
 			}
-			mh, err := workloads.Run(baseConfig(opt, core.PolicyConfig{Policy: core.MinHop}), w, sys.AffAlloc)
-			if err != nil {
-				return nil, err
-			}
-			hy, err := workloads.Run(baseConfig(opt, core.PolicyConfig{Policy: core.Hybrid, H: 5}), w, sys.AffAlloc)
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	rs, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var hySpeedups []float64
+	i := 0
+	for gi, ge := range graphs {
+		for _, w := range built[gi] {
+			near, mh, hy := rs[i], rs[i+1], rs[i+2]
+			i += len(runs)
 			spd.AddRow(ge.Name, w.Name(), 1.0, speedup(mh, near), speedup(hy, near))
 			nt := float64(maxU64(near.Metrics.FlitHops, 1))
 			trf.AddRow(ge.Name, w.Name(), 1.0,

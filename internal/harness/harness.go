@@ -59,6 +59,18 @@ func ParseScale(v string) (Scale, error) {
 type Options struct {
 	Scale Scale
 	Seed  int64
+	// Jobs is the number of simulation cells run concurrently; <= 0
+	// selects runtime.GOMAXPROCS(0). Figure output is byte-identical for
+	// every value: cells are independent and results are collected in
+	// serial order before rendering.
+	Jobs int
+	// Timing, when non-nil, records per-cell wall time and simulated
+	// cycles (see CellTiming).
+	Timing *Timing
+
+	// limit, when set, is a shared pool bounding concurrent cells across
+	// experiments (see ShareWorkers).
+	limit chan struct{}
 }
 
 // DefaultOptions returns the default sizing.
@@ -130,23 +142,50 @@ func baseConfig(opt Options, pcfg core.PolicyConfig) sys.Config {
 	return cfg
 }
 
-// runModes runs a workload under the three configurations.
+// runModes runs a workload under the three configurations, one parallel
+// cell per mode.
 func runModes(opt Options, w workloads.Workload) (map[sys.Mode]workloads.Result, error) {
-	out := make(map[sys.Mode]workloads.Result, 3)
-	for _, mode := range sys.Modes {
-		res, err := workloads.Run(baseConfig(opt, core.DefaultPolicy()), w, mode)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%v: %w", w.Name(), mode, err)
-		}
-		out[mode] = res
+	ms, err := runModesAll(opt, []workloads.Workload{w})
+	if err != nil {
+		return nil, err
 	}
-	// Functional cross-check: every configuration computed the same
-	// result.
-	base := out[sys.InCore].Checksum
-	for _, mode := range sys.Modes {
-		if out[mode].Checksum != base {
-			return nil, fmt.Errorf("%s: %v checksum %x != In-Core %x", w.Name(), mode, out[mode].Checksum, base)
+	return ms[0], nil
+}
+
+// runModesAll runs every (workload × mode) pair as one flat batch of
+// parallel cells and returns the per-workload mode maps in input order.
+func runModesAll(opt Options, ws []workloads.Workload) ([]map[sys.Mode]workloads.Result, error) {
+	cells := make([]cell, 0, len(ws)*len(sys.Modes))
+	for _, w := range ws {
+		for _, mode := range sys.Modes {
+			w, mode := w, mode
+			cells = append(cells, cell{
+				label: fmt.Sprintf("%s/%v", w.Name(), mode),
+				run: func() (workloads.Result, error) {
+					return workloads.Run(baseConfig(opt, core.DefaultPolicy()), w, mode)
+				},
+			})
 		}
+	}
+	rs, err := runCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[sys.Mode]workloads.Result, len(ws))
+	for wi, w := range ws {
+		m := make(map[sys.Mode]workloads.Result, len(sys.Modes))
+		for mi, mode := range sys.Modes {
+			m[mode] = rs[wi*len(sys.Modes)+mi]
+		}
+		// Functional cross-check: every configuration computed the same
+		// result.
+		base := m[sys.InCore].Checksum
+		for _, mode := range sys.Modes {
+			if m[mode].Checksum != base {
+				return nil, fmt.Errorf("%s: %v checksum %x != In-Core %x", w.Name(), mode, m[mode].Checksum, base)
+			}
+		}
+		out[wi] = m
 	}
 	return out, nil
 }

@@ -85,11 +85,36 @@ type Network struct {
 	routeCache []topo.Link // scratch buffer reused across sends
 }
 
-// New builds a network over the given mesh.
-func New(mesh *topo.Mesh, cfg Config) *Network {
-	if cfg.LinkBytes <= 0 {
-		cfg = DefaultConfig()
+// withDefaults fills unset fields. A fully zero Config selects
+// DefaultConfig wholesale (the conventional "just give me Table 2"
+// request); otherwise only the zero-valued numeric fields are
+// defaulted individually, so a partially-specified config keeps its
+// explicit settings — a custom PerHopCycles or ModelConflict=false is
+// preserved rather than silently discarded.
+func (cfg Config) withDefaults() Config {
+	if cfg == (Config{}) {
+		return DefaultConfig()
 	}
+	def := DefaultConfig()
+	if cfg.LinkBytes <= 0 {
+		cfg.LinkBytes = def.LinkBytes
+	}
+	if cfg.PerHopCycles <= 0 {
+		cfg.PerHopCycles = def.PerHopCycles
+	}
+	if cfg.LocalCycles <= 0 {
+		cfg.LocalCycles = def.LocalCycles
+	}
+	if cfg.HeaderBytes <= 0 {
+		cfg.HeaderBytes = def.HeaderBytes
+	}
+	return cfg
+}
+
+// New builds a network over the given mesh. Zero-valued cfg fields take
+// Table-2 defaults; see withDefaults.
+func New(mesh *topo.Mesh, cfg Config) *Network {
+	cfg = cfg.withDefaults()
 	n := &Network{
 		mesh:      mesh,
 		cfg:       cfg,

@@ -101,6 +101,38 @@ func TestUtilization(t *testing.T) {
 	}
 }
 
+// TestZeroConfigSelectsDefaults: a fully zero Config still means "the
+// Table-2 network".
+func TestZeroConfigSelectsDefaults(t *testing.T) {
+	n := New(topo.MustMesh(4, 4, topo.RowMajor), Config{})
+	if n.cfg != DefaultConfig() {
+		t.Errorf("zero config built %+v, want DefaultConfig", n.cfg)
+	}
+}
+
+// TestPartialConfigKeepsCallerFields: New used to replace the entire
+// config with DefaultConfig whenever LinkBytes was unset, silently
+// discarding a caller's explicit PerHopCycles or ModelConflict=false.
+// Now only the zero-valued fields are defaulted.
+func TestPartialConfigKeepsCallerFields(t *testing.T) {
+	n := New(topo.MustMesh(4, 4, topo.RowMajor), Config{PerHopCycles: 7, ModelConflict: false})
+	if n.cfg.PerHopCycles != 7 {
+		t.Errorf("PerHopCycles = %d, want caller's 7", n.cfg.PerHopCycles)
+	}
+	if n.cfg.ModelConflict {
+		t.Error("explicit ModelConflict=false was discarded")
+	}
+	def := DefaultConfig()
+	if n.cfg.LinkBytes != def.LinkBytes || n.cfg.LocalCycles != def.LocalCycles || n.cfg.HeaderBytes != def.HeaderBytes {
+		t.Errorf("unset fields not defaulted: %+v", n.cfg)
+	}
+	// Behavior check: 64B payload = 3 flits, 1 hop, no conflict model:
+	// 1 hop x 7 cycles + 2 tail flits = 9.
+	if got := n.Send(0, 0, 1, Data, 64); got != 9 {
+		t.Errorf("1-hop send arrived at %d, want 9", got)
+	}
+}
+
 func TestLatencyEstimateChargesNothing(t *testing.T) {
 	n := newNet(t)
 	lat := n.Latency(0, 63, 64)

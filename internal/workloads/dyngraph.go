@@ -55,7 +55,7 @@ func (w DynGraph) Run(s *sys.System, mode sys.Mode) (Result, error) {
 	}
 	preloadLinkedCSR(s, lc)
 
-	rng := rand.New(rand.NewSource(23))
+	rng := rand.New(rand.NewSource(workloadSeed(s, 23)))
 	ranks := make([]float64, n)
 	for i := range ranks {
 		ranks[i] = 1 / float64(n)

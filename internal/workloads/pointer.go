@@ -51,7 +51,7 @@ func (w LinkList) Name() string { return "link_list" }
 // Run implements Workload.
 func (w LinkList) Run(s *sys.System, mode sys.Mode) (Result, error) {
 	alloc := dalloc(s, mode)
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(workloadSeed(s, 11)))
 
 	lists := make([]*dstruct.List, w.Lists)
 	for i := range lists {
@@ -190,7 +190,7 @@ func (w HashJoin) Name() string { return "hash_join" }
 // Run implements Workload.
 func (w HashJoin) Run(s *sys.System, mode sys.Mode) (Result, error) {
 	alloc := dalloc(s, mode)
-	rng := rand.New(rand.NewSource(13))
+	rng := rand.New(rand.NewSource(workloadSeed(s, 13)))
 
 	ht, err := dstruct.NewHashTable(alloc, w.Buckets)
 	if err != nil {
@@ -318,7 +318,7 @@ func (w BinTree) Name() string { return "bin_tree" }
 // Run implements Workload.
 func (w BinTree) Run(s *sys.System, mode sys.Mode) (Result, error) {
 	alloc := dalloc(s, mode)
-	rng := rand.New(rand.NewSource(17))
+	rng := rand.New(rand.NewSource(workloadSeed(s, 17)))
 
 	tree := dstruct.NewBST(alloc)
 	keys := make([]uint64, 0, w.Keys)

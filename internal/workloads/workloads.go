@@ -65,6 +65,15 @@ func (c *checksum) addU32(v uint32)  { c.addU64(uint64(v)) }
 func (c *checksum) addF32(v float32) { c.addU64(uint64(math.Float32bits(v))) }
 func (c *checksum) sum() uint64      { return c.h }
 
+// workloadSeed derives a workload-local RNG seed from the system's
+// configured seed, so `-seed N` actually varies workload inputs while
+// distinct workloads under one seed stay decorrelated (each passes its
+// own salt). Seed 1 maps to the bare salt, preserving the historically
+// committed seed-1 experiment numbers.
+func workloadSeed(s *sys.System, salt int64) int64 {
+	return (s.Cfg.Seed-1)*1000003 + salt
+}
+
 // coreFinish returns the drain time of the latest core.
 func coreFinish(cores []*cpu.Core) engine.Time {
 	var t engine.Time
