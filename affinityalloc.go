@@ -100,8 +100,13 @@ func DefaultConfig() Config { return sys.DefaultConfig() }
 // Hybrid-5.
 func DefaultPolicy() PolicyConfig { return core.DefaultPolicy() }
 
-// NewSystem builds a simulated system (panics on invalid configuration;
-// use sys.New via the internal packages for error returns).
+// New builds a simulated system. The configuration is validated first
+// (see Config.Validate), so a bad geometry or policy comes back as an
+// actionable error instead of a panic deep in assembly.
+func New(cfg Config) (*System, error) { return sys.New(cfg) }
+
+// NewSystem builds a simulated system, panicking on an invalid
+// configuration. Use New for an error return.
 func NewSystem(cfg Config) *System { return sys.MustNew(cfg) }
 
 // RunWorkload builds a fresh system from cfg and runs w under mode.

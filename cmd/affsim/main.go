@@ -6,18 +6,22 @@
 //	affsim -list
 //	affsim -exp fig12 [-scale tiny|default|paper] [-seed N] [-j N]
 //	affsim -all [-scale ...] [-seed N] [-j N] [-timing]
-//	affsim -workload bfs [-scale ...] [-policy hybrid5|minhop|rnd|lnr]
+//	affsim -workload bfs [-scale ...] [-policy hybrid5|minhop|rnd|lnr] [-mode affalloc]
+//	affsim ... [-metrics-out m.json] [-trace-out t.json] [-pprof cpu.prof]
+//	affsim -validate-metrics m.json
 //
 // Independent simulation cells (workload × configuration runs) execute
 // across -j worker goroutines; results are aggregated in a fixed order,
-// so the rendered figures are byte-identical for every -j. Timing
-// accounting goes to stderr, keeping stdout deterministic.
+// so the rendered figures — and the -metrics-out / -trace-out files —
+// are byte-identical for every -j. Timing accounting goes to stderr,
+// keeping stdout deterministic.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,6 +29,7 @@ import (
 	"affinityalloc/internal/harness"
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/sys"
+	"affinityalloc/internal/telemetry"
 	"affinityalloc/internal/workloads"
 )
 
@@ -39,17 +44,48 @@ func main() {
 		jobs     = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
 		timing   = flag.Bool("timing", false, "report per-cell wall time and sim-cycles/s on stderr")
 		policy   = flag.String("policy", "hybrid5", "bank policy: rnd|lnr|minhop|hybrid1|hybrid3|hybrid5|hybrid7")
+		modeStr  = flag.String("mode", "all", "with -workload: run one configuration (incore|nearl3|affalloc) or all")
+		metrics  = flag.String("metrics-out", "", "write per-cell telemetry as a metrics JSON document")
+		trace    = flag.String("trace-out", "", "write sim-time phases as a Chrome trace_event JSON timeline")
+		pprofOut = flag.String("pprof", "", "write a CPU profile of the simulator itself")
+		validate = flag.String("validate-metrics", "", "parse and schema-check a metrics JSON document, then exit")
 	)
 	flag.Parse()
 
-	scale, err := harness.ParseScale(*scaleStr)
-	if err != nil {
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	if err := run(*list, *exp, *all, *workload, *scaleStr, *seed, *jobs, *timing,
+		*policy, *modeStr, *metrics, *trace, *validate); err != nil {
+		pprof.StopCPUProfile()
 		fatal(err)
 	}
-	opt := harness.Options{Scale: scale, Seed: *seed, Jobs: *jobs}
+}
+
+func run(list bool, exp string, all bool, workload, scaleStr string, seed int64, jobs int,
+	timing bool, policy, modeStr, metricsPath, tracePath, validatePath string) error {
+	scale, err := harness.ParseScale(scaleStr)
+	if err != nil {
+		return err
+	}
+	opt := harness.Options{Scale: scale, Seed: seed, Jobs: jobs}
 
 	switch {
-	case *list:
+	case validatePath != "":
+		return validateMetrics(validatePath)
+	case list:
 		fmt.Println("experiments:")
 		for _, e := range harness.Experiments() {
 			fmt.Printf("  %-7s %s\n", e.ID, e.Title)
@@ -58,40 +94,121 @@ func main() {
 		for _, w := range workloadSet(opt) {
 			fmt.Printf("  %s\n", w.Name())
 		}
-	case *all:
-		if err := harness.RunAll(opt, os.Stdout, nil, os.Stderr, *timing); err != nil {
-			fatal(err)
-		}
-	case *exp != "":
-		e, ok := harness.Lookup(*exp)
-		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (try -list)", *exp))
-		}
-		opt.Timing = &harness.Timing{}
-		start := time.Now()
-		fig, err := e.Run(opt)
+		return nil
+	case all:
+		arts, closeArts, err := openArtifacts(metricsPath, tracePath, "all", scale, seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fig.Render(os.Stdout)
-		if *timing {
-			opt.Timing.Report(os.Stderr)
-			n, cellWall, sim := opt.Timing.Summary()
-			fmt.Fprintf(os.Stderr, "%s: %d cells, wall %.2fs (cellsum %.2fs), sim %d cyc, %.1f Mcyc/s\n",
-				e.ID, n, time.Since(start).Seconds(), cellWall.Seconds(), uint64(sim),
-				float64(sim)/time.Since(start).Seconds()/1e6)
-		}
-	case *workload != "":
-		runWorkload(opt, *workload, *policy)
+		defer closeArts()
+		return harness.RunAll(opt, os.Stdout, nil, os.Stderr, timing, arts)
+	case exp != "":
+		return runExperiment(opt, exp, timing, metricsPath, tracePath)
+	case workload != "":
+		return runWorkload(opt, workload, policy, modeStr, metricsPath, tracePath)
 	default:
 		flag.Usage()
 		os.Exit(2)
+		return nil
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "affsim:", err)
 	os.Exit(1)
+}
+
+// validateMetrics schema-checks a metrics document (the CI gate).
+func validateMetrics(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := telemetry.ParseDocument(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid metrics document (schema %d, %d cells)\n", path, doc.SchemaVersion, len(doc.Cells))
+	return nil
+}
+
+// openArtifacts builds the harness artifact request from the -metrics-out
+// and -trace-out flags; the returned closer flushes both files.
+func openArtifacts(metricsPath, tracePath, experiment string, scale harness.Scale, seed int64) (*harness.Artifacts, func(), error) {
+	if metricsPath == "" && tracePath == "" {
+		return nil, func() {}, nil
+	}
+	arts := &harness.Artifacts{Experiment: experiment, Scale: scale, Seed: seed}
+	var files []*os.File
+	open := func(path string) (*os.File, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			for _, g := range files {
+				g.Close()
+			}
+			return nil, err
+		}
+		files = append(files, f)
+		return f, nil
+	}
+	if metricsPath != "" {
+		f, err := open(metricsPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		arts.MetricsOut = f
+	}
+	if tracePath != "" {
+		f, err := open(tracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		arts.TraceOut = f
+	}
+	return arts, func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}, nil
+}
+
+func runExperiment(opt harness.Options, exp string, timing bool, metricsPath, tracePath string) error {
+	e, ok := harness.Lookup(exp)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try -list)", exp)
+	}
+	arts, closeArts, err := openArtifacts(metricsPath, tracePath, e.ID, opt.Scale, opt.Seed)
+	if err != nil {
+		return err
+	}
+	defer closeArts()
+	opt.Timing = &harness.Timing{}
+	if arts != nil {
+		opt.Collect = &harness.Collector{}
+	}
+	start := time.Now()
+	fig, err := e.Run(opt)
+	if err != nil {
+		return err
+	}
+	fig.Render(os.Stdout)
+	if arts != nil {
+		cells := opt.Collect.Cells()
+		for i := range cells {
+			cells[i].Label = e.ID + "/" + cells[i].Label
+		}
+		if err := arts.Write(cells); err != nil {
+			return err
+		}
+	}
+	if timing {
+		opt.Timing.Report(os.Stderr)
+		n, cellWall, sim := opt.Timing.Summary()
+		fmt.Fprintf(os.Stderr, "%s: %d cells, wall %.2fs (cellsum %.2fs), sim %d cyc, %.1f Mcyc/s\n",
+			e.ID, n, time.Since(start).Seconds(), cellWall.Seconds(), uint64(sim),
+			float64(sim)/time.Since(start).Seconds()/1e6)
+	}
+	return nil
 }
 
 func workloadSet(opt harness.Options) []workloads.Workload {
@@ -118,10 +235,27 @@ func parsePolicy(v string) (core.PolicyConfig, error) {
 	return core.PolicyConfig{}, fmt.Errorf("unknown policy %q", v)
 }
 
-func runWorkload(opt harness.Options, name, policyStr string) {
+// parseModes resolves the -mode flag: "all" (or empty) selects the three
+// presentation-order configurations, anything else one sys.ParseMode name.
+func parseModes(v string) ([]sys.Mode, error) {
+	if v == "" || strings.EqualFold(v, "all") {
+		return sys.Modes[:], nil
+	}
+	m, err := sys.ParseMode(v)
+	if err != nil {
+		return nil, err
+	}
+	return []sys.Mode{m}, nil
+}
+
+func runWorkload(opt harness.Options, name, policyStr, modeStr, metricsPath, tracePath string) error {
 	pcfg, err := parsePolicy(policyStr)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	modes, err := parseModes(modeStr)
+	if err != nil {
+		return err
 	}
 	var w workloads.Workload
 	for _, cand := range workloadSet(opt) {
@@ -131,27 +265,42 @@ func runWorkload(opt harness.Options, name, policyStr string) {
 		}
 	}
 	if w == nil {
-		fatal(fmt.Errorf("unknown workload %q (try -list)", name))
+		return fmt.Errorf("unknown workload %q (try -list)", name)
 	}
+	arts, closeArts, err := openArtifacts(metricsPath, tracePath, "workload/"+name, opt.Scale, opt.Seed)
+	if err != nil {
+		return err
+	}
+	defer closeArts()
 
+	speedupCol := "speedup.vs.InCore"
+	if len(modes) == 1 {
+		speedupCol = "speedup"
+	}
 	tbl := stats.NewTable(fmt.Sprintf("%s at scale=%v (policy %v)", name, opt.Scale, pcfg.Policy),
-		"config", "cycles", "speedup.vs.InCore", "hops.data", "hops.control", "hops.offload", "l3miss", "noc.util", "energy")
+		"config", "cycles", speedupCol, "hops.data", "hops.control", "hops.offload", "l3miss", "noc.util", "energy")
 	cfg := sys.DefaultConfig()
 	cfg.Seed = opt.Seed
 	cfg.Policy = pcfg
 	var base workloads.Result
-	for i, mode := range sys.Modes {
+	var cells []harness.CollectedCell
+	for i, mode := range modes {
 		res, err := workloads.Run(cfg, w, mode)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if i == 0 {
 			base = res
 		}
+		cells = append(cells, harness.CollectedCell{
+			Label: fmt.Sprintf("%s/%v", name, mode),
+			Snap:  res.Metrics.Detail,
+		})
 		d, c, o := res.Metrics.DataHops()
 		tbl.AddRow(mode.String(), uint64(res.Metrics.Cycles),
 			float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles),
-			d, c, o, res.Metrics.L3MissRate, res.Metrics.NoCUtil, res.Metrics.EnergyTotal)
+			d, c, o, res.Metrics.L3MissRate(), res.Metrics.NoCUtil(), res.Metrics.EnergyTotal())
 	}
 	tbl.Render(os.Stdout)
+	return arts.Write(cells)
 }

@@ -6,11 +6,12 @@
 //
 //	afftables [-scale tiny|default|paper] [-seed N] [-j N] [-timing]
 //	          [-o report.txt] [-only fig12,fig13]
+//	          [-metrics-out m.json] [-trace-out t.json] [-pprof cpu.prof]
 //
 // Experiments run concurrently across -j worker goroutines and their
-// figures are written in registry order, so the report is byte-identical
-// for every -j. Per-experiment timing goes to stderr, never into the
-// report.
+// figures are written in registry order, so the report — and the
+// -metrics-out / -trace-out files — are byte-identical for every -j.
+// Per-experiment timing goes to stderr, never into the report.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"affinityalloc/internal/harness"
@@ -31,6 +33,9 @@ func main() {
 		timing   = flag.Bool("timing", false, "also report per-cell wall time and sim-cycles/s on stderr")
 		outPath  = flag.String("o", "", "output file (default stdout)")
 		only     = flag.String("only", "", "comma-separated experiment ids (default all)")
+		metrics  = flag.String("metrics-out", "", "write per-cell telemetry as a metrics JSON document")
+		trace    = flag.String("trace-out", "", "write sim-time phases as a Chrome trace_event JSON timeline")
+		pprofOut = flag.String("pprof", "", "write a CPU profile of the simulator itself")
 	)
 	flag.Parse()
 
@@ -40,6 +45,22 @@ func main() {
 		os.Exit(1)
 	}
 	opt := harness.Options{Scale: scale, Seed: *seed, Jobs: *jobs}
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "afftables:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "afftables:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -59,8 +80,38 @@ func main() {
 		}
 	}
 
+	var arts *harness.Artifacts
+	var artFiles []*os.File
+	if *metrics != "" || *trace != "" {
+		exp := "all"
+		if *only != "" {
+			exp = *only
+		}
+		arts = &harness.Artifacts{Experiment: exp, Scale: scale, Seed: *seed}
+		openArt := func(path string) *os.File {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "afftables:", err)
+				os.Exit(1)
+			}
+			artFiles = append(artFiles, f)
+			return f
+		}
+		if *metrics != "" {
+			arts.MetricsOut = openArt(*metrics)
+		}
+		if *trace != "" {
+			arts.TraceOut = openArt(*trace)
+		}
+	}
+	defer func() {
+		for _, f := range artFiles {
+			f.Close()
+		}
+	}()
+
 	fmt.Fprintf(out, "# Affinity Alloc — regenerated evaluation (scale=%v, seed=%d)\n\n", scale, *seed)
-	if err := harness.RunAll(opt, out, want, os.Stderr, *timing); err != nil {
+	if err := harness.RunAll(opt, out, want, os.Stderr, *timing, arts); err != nil {
 		fmt.Fprintln(os.Stderr, "afftables:", err)
 		os.Exit(1)
 	}

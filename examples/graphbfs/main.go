@@ -35,7 +35,7 @@ func main() {
 		fmt.Printf("  %-9v %8d cycles (%.2fx)  traffic d/c/o = %d/%d/%d  noc util %.2f\n",
 			mode, res.Metrics.Cycles,
 			float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles),
-			d, c, o, res.Metrics.NoCUtil)
+			d, c, o, res.Metrics.NoCUtil())
 	}
 
 	fmt.Println("\nEvery configuration computes the identical BFS levels (checksums")

@@ -14,8 +14,12 @@ import (
 
 func main() {
 	// Build the Table-2 system: an 8x8 mesh of tiles, each with a core
-	// and a 1MB L3 bank.
-	s := affinityalloc.NewSystem(affinityalloc.DefaultConfig())
+	// and a 1MB L3 bank. New validates the configuration and returns an
+	// actionable error for bad geometries.
+	s, err := affinityalloc.New(affinityalloc.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The affinity allocator speaks the paper's declarative API: B and C
 	// state that element i should live with A[i]; the runtime picks the

@@ -20,7 +20,10 @@ func main() {
 	)
 
 	// Show the layout decision itself first.
-	s := affinityalloc.NewSystem(affinityalloc.DefaultConfig())
+	s, err := affinityalloc.New(affinityalloc.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	grid, err := s.RT.AllocAffine(affinityalloc.AffineSpec{
 		ElemSize: 4,
 		NumElem:  rows * cols,

@@ -6,6 +6,7 @@ import (
 	"affinityalloc/internal/engine"
 	"affinityalloc/internal/memsim"
 	"affinityalloc/internal/noc"
+	"affinityalloc/internal/telemetry"
 )
 
 // MemSysConfig parameterizes the shared L3 + DRAM system (Table 2).
@@ -47,6 +48,14 @@ type MemSystem struct {
 	// nearestCtrl caches the closest controller per bank.
 	nearestCtrl []int
 
+	// bankBusy accumulates each bank port's occupied cycles — the
+	// per-bank load-balance series behind the paper's hot-bank analysis.
+	bankBusy []uint64
+	// Per-channel DRAM accounting: demand reads, writebacks, and the
+	// cycles requests spent queued behind the channel (arrival to
+	// service start) — the channel queue-depth signal.
+	chanReads, chanWrites, chanQueueCycles []uint64
+
 	DRAMReads  uint64
 	DRAMWrites uint64
 }
@@ -65,8 +74,12 @@ func NewMemSystem(space *memsim.Space, net *noc.Network, cfg MemSysConfig) (*Mem
 		bankSrv:     make([]*engine.Server, nbanks),
 		ctrls:       net.Mesh().MemControllers(),
 		nearestCtrl: make([]int, nbanks),
+		bankBusy:    make([]uint64, nbanks),
 	}
 	m.dramSrv = make([]*engine.Server, len(m.ctrls))
+	m.chanReads = make([]uint64, len(m.ctrls))
+	m.chanWrites = make([]uint64, len(m.ctrls))
+	m.chanQueueCycles = make([]uint64, len(m.ctrls))
 	for i := range m.dramSrv {
 		m.dramSrv[i] = engine.NewServer(1, 16, 4096)
 	}
@@ -118,6 +131,7 @@ func (m *MemSystem) Access(now engine.Time, va memsim.Addr, write bool) (done en
 func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bool) (done engine.Time, hit bool) {
 	line := uint64(memsim.Line(va))
 	start := m.bankSrv[bank].Reserve(now, int(m.cfg.BankOccupancy))
+	m.bankBusy[bank] += uint64(m.cfg.BankOccupancy)
 
 	hit, victim, dirtyVictim := m.banks[bank].Access(line, write)
 	done = start + m.cfg.L3HitLatency
@@ -131,6 +145,8 @@ func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bo
 	reqArrive := m.net.Send(done, bank, ctrl, noc.Control, 8)
 	dramStart := m.dramSrv[ci].Reserve(reqArrive, int(m.cfg.DRAMServe))
 	m.DRAMReads++
+	m.chanReads[ci]++
+	m.chanQueueCycles[ci] += uint64(dramStart - reqArrive)
 	dataReady := dramStart + m.cfg.DRAMLatency
 	respArrive := m.net.Send(dataReady, ctrl, bank, noc.Data, memsim.LineSize)
 
@@ -138,8 +154,10 @@ func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bo
 		// Write the victim back lazily; it occupies the channel but does
 		// not delay the demand fill's critical path.
 		wbArrive := m.net.Send(done, bank, ctrl, noc.Data, memsim.LineSize)
-		m.dramSrv[ci].Reserve(wbArrive, int(m.cfg.DRAMServe))
+		wbStart := m.dramSrv[ci].Reserve(wbArrive, int(m.cfg.DRAMServe))
 		m.DRAMWrites++
+		m.chanWrites[ci]++
+		m.chanQueueCycles[ci] += uint64(wbStart - wbArrive)
 		_ = victim
 	}
 	return respArrive, false
@@ -176,10 +194,47 @@ func (m *MemSystem) L3MissRate() float64 {
 	return float64(miss) / float64(a)
 }
 
+// BankBusyCycles returns a copy of each bank port's accumulated busy
+// cycles.
+func (m *MemSystem) BankBusyCycles() []uint64 {
+	out := make([]uint64, len(m.bankBusy))
+	copy(out, m.bankBusy)
+	return out
+}
+
+// Channels returns the number of DRAM channels (memory controllers).
+func (m *MemSystem) Channels() int { return len(m.ctrls) }
+
+// PublishTelemetry publishes the per-bank L3 access/hit/miss/occupancy
+// series and the per-channel DRAM read/write/queue series into the
+// registry — the access-balance view behind Figs 5, 6 and 12.
+func (m *MemSystem) PublishTelemetry(r *telemetry.Registry) {
+	n := len(m.banks)
+	acc := make([]uint64, n)
+	hits := make([]uint64, n)
+	miss := make([]uint64, n)
+	for i, b := range m.banks {
+		acc[i], hits[i], miss[i] = b.Accesses, b.Hits, b.Misses
+	}
+	r.SetSeries("l3_bank_accesses", acc)
+	r.SetSeries("l3_bank_hits", hits)
+	r.SetSeries("l3_bank_misses", miss)
+	r.SetSeries("l3_bank_busy_cycles", m.bankBusy)
+	r.SetSeries("dram_chan_reads", m.chanReads)
+	r.SetSeries("dram_chan_writes", m.chanWrites)
+	r.SetSeries("dram_chan_queue_cycles", m.chanQueueCycles)
+}
+
 // ResetStats clears bank and DRAM counters but keeps cache contents.
 func (m *MemSystem) ResetStats() {
 	for _, b := range m.banks {
 		b.ResetStats()
+	}
+	for i := range m.bankBusy {
+		m.bankBusy[i] = 0
+	}
+	for i := range m.chanReads {
+		m.chanReads[i], m.chanWrites[i], m.chanQueueCycles[i] = 0, 0, 0
 	}
 	m.DRAMReads, m.DRAMWrites = 0, 0
 }

@@ -1,0 +1,55 @@
+package cpu
+
+import (
+	"affinityalloc/internal/engine"
+	"affinityalloc/internal/telemetry"
+)
+
+// PublishCores publishes per-core activity series into the registry:
+// memory-op and compute-op counts, private-cache access/miss balance, and
+// active cycles (the drain time clamped to the run's finish, counted only
+// for cores that did any work — the same definition the energy model's
+// CoreActiveCycles uses).
+func PublishCores(r *telemetry.Registry, cores []*Core, finish engine.Time) {
+	n := len(cores)
+	series := map[string][]uint64{
+		"core_loads":         make([]uint64, n),
+		"core_stores":        make([]uint64, n),
+		"core_atomics":       make([]uint64, n),
+		"core_alu_ops":       make([]uint64, n),
+		"core_simd_ops":      make([]uint64, n),
+		"core_active_cycles": make([]uint64, n),
+		"core_l1_accesses":   make([]uint64, n),
+		"core_l1_misses":     make([]uint64, n),
+		"core_l2_accesses":   make([]uint64, n),
+		"core_l2_misses":     make([]uint64, n),
+	}
+	for i, c := range cores {
+		series["core_loads"][i] = c.Loads
+		series["core_stores"][i] = c.Stores
+		series["core_atomics"][i] = c.Atomics
+		series["core_alu_ops"][i] = c.ALUOps
+		series["core_simd_ops"][i] = c.SIMDOps
+		if c.Loads+c.Stores+c.Atomics+c.ALUOps+c.SIMDOps > 0 {
+			active := c.Drained()
+			if active > finish {
+				active = finish
+			}
+			series["core_active_cycles"][i] = uint64(active)
+		}
+		series["core_l1_accesses"][i] = c.L1().Accesses
+		series["core_l1_misses"][i] = c.L1().Misses
+		series["core_l2_accesses"][i] = c.L2().Accesses
+		series["core_l2_misses"][i] = c.L2().Misses
+	}
+	// Fixed publication order (map iteration must not leak into the
+	// registry's scalar bookkeeping — SetSeries also writes *_total).
+	for _, name := range []string{
+		"core_loads", "core_stores", "core_atomics", "core_alu_ops",
+		"core_simd_ops", "core_active_cycles",
+		"core_l1_accesses", "core_l1_misses",
+		"core_l2_accesses", "core_l2_misses",
+	} {
+		r.SetSeries(name, series[name])
+	}
+}

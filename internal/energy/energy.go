@@ -38,25 +38,35 @@ func DefaultParams() Params {
 	}
 }
 
-// Counts aggregates the event counts a run produced.
+// Counts aggregates the event counts a run produced. The JSON tags are
+// the stable snake_case metrics schema.
 type Counts struct {
-	CoreActiveCycles uint64 // summed over cores
-	ALUOps           uint64
-	SIMDOps          uint64
-	L1Accesses       uint64
-	L2Accesses       uint64
-	L3Accesses       uint64
-	DRAMAccesses     uint64
-	NoCFlitHops      uint64
-	SEL3Ops          uint64
-	ElapsedCycles    uint64
-	Routers          int
-	Banks            int
+	CoreActiveCycles uint64 `json:"core_active_cycles"` // summed over cores
+	ALUOps           uint64 `json:"alu_ops"`
+	SIMDOps          uint64 `json:"simd_ops"`
+	L1Accesses       uint64 `json:"l1_accesses"`
+	L2Accesses       uint64 `json:"l2_accesses"`
+	L3Accesses       uint64 `json:"l3_accesses"`
+	DRAMAccesses     uint64 `json:"dram_accesses"`
+	NoCFlitHops      uint64 `json:"noc_flit_hops"`
+	SEL3Ops          uint64 `json:"se_l3_ops"`
+	ElapsedCycles    uint64 `json:"elapsed_cycles"`
+	Routers          int    `json:"routers"`
+	Banks            int    `json:"banks"`
 }
 
-// Breakdown is energy per component, in the Params scale.
+// Breakdown is energy per component, in the Params scale. Only the raw
+// per-component values are stored; the total is always derived (Total).
 type Breakdown struct {
-	Core, Compute, L1, L2, L3, DRAM, NoC, SEL3, Static float64
+	Core    float64 `json:"core"`
+	Compute float64 `json:"compute"`
+	L1      float64 `json:"l1"`
+	L2      float64 `json:"l2"`
+	L3      float64 `json:"l3"`
+	DRAM    float64 `json:"dram"`
+	NoC     float64 `json:"noc"`
+	SEL3    float64 `json:"se_l3"`
+	Static  float64 `json:"static"`
 }
 
 // Total sums the breakdown.

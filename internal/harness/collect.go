@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"affinityalloc/internal/telemetry"
+)
+
+// CollectedCell is one simulation cell's telemetry: the harness label it
+// ran under and the full per-tile snapshot its system published.
+type CollectedCell struct {
+	Label string
+	Snap  *telemetry.Snapshot
+}
+
+// Collector accumulates per-cell telemetry snapshots across a harness
+// run. Unlike Timing, order matters here — the exported metrics document
+// must be byte-identical for every -j — so runCells reserves a
+// contiguous block of slots up front (runCells calls within one
+// experiment are serial, making the reservation order deterministic) and
+// each worker fills its own slot regardless of scheduling. A nil
+// *Collector discards observations.
+type Collector struct {
+	mu    sync.Mutex
+	cells []CollectedCell
+}
+
+// reserve claims n consecutive slots and returns the first index.
+func (c *Collector) reserve(n int) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base := len(c.cells)
+	c.cells = append(c.cells, make([]CollectedCell, n)...)
+	return base
+}
+
+// put fills a reserved slot.
+func (c *Collector) put(i int, label string, snap *telemetry.Snapshot) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.cells[i] = CollectedCell{Label: label, Snap: snap}
+	c.mu.Unlock()
+}
+
+// Cells returns the collected cells in reservation order. Slots whose
+// cell failed (and so never published a snapshot) are skipped.
+func (c *Collector) Cells() []CollectedCell {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CollectedCell, 0, len(c.cells))
+	for _, cc := range c.cells {
+		if cc.Snap != nil {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// Artifacts requests machine-readable outputs from a harness run: the
+// snake_case metrics document and/or a Chrome trace_event timeline.
+type Artifacts struct {
+	// MetricsOut, when non-nil, receives the telemetry metrics document
+	// (schema telemetry.SchemaVersion) as indented JSON.
+	MetricsOut io.Writer
+	// TraceOut, when non-nil, receives a Chrome trace_event JSON
+	// timeline; each cell becomes one track (tid), each recorded
+	// sim-time phase one complete ("X") event.
+	TraceOut io.Writer
+	// Experiment, Scale and Seed fill the document header.
+	Experiment string
+	Scale      Scale
+	Seed       int64
+}
+
+// enabled reports whether any artifact output was requested.
+func (a *Artifacts) enabled() bool {
+	return a != nil && (a.MetricsOut != nil || a.TraceOut != nil)
+}
+
+// Write emits the requested artifacts from collected cells. Cells must
+// already be in their deterministic harness order; the byte streams then
+// depend only on their contents.
+func (a *Artifacts) Write(cells []CollectedCell) error {
+	if !a.enabled() {
+		return nil
+	}
+	if a.MetricsOut != nil {
+		doc := &telemetry.Document{
+			SchemaVersion: telemetry.SchemaVersion,
+			Experiment:    a.Experiment,
+			Scale:         a.Scale.String(),
+			Seed:          a.Seed,
+		}
+		for _, c := range cells {
+			doc.AddCell(c.Label, c.Snap)
+		}
+		if err := doc.WriteJSON(a.MetricsOut); err != nil {
+			return fmt.Errorf("harness: writing metrics document: %w", err)
+		}
+	}
+	if a.TraceOut != nil {
+		var spans []telemetry.Span
+		threads := make([]string, len(cells))
+		for tid, c := range cells {
+			threads[tid] = c.Label
+			for _, sp := range c.Snap.Spans {
+				sp.TID = tid
+				spans = append(spans, sp)
+			}
+		}
+		meta := map[string]string{
+			"experiment": a.Experiment,
+			"scale":      a.Scale.String(),
+			"seed":       fmt.Sprintf("%d", a.Seed),
+		}
+		if err := telemetry.WriteTrace(a.TraceOut, spans, threads, meta); err != nil {
+			return fmt.Errorf("harness: writing trace: %w", err)
+		}
+	}
+	return nil
+}

@@ -98,7 +98,7 @@ func Fig12(opt Options) (*Figure, error) {
 
 		for _, mode := range sys.Modes {
 			d, c, o := trafficCols(res[mode], res[sys.InCore])
-			trf.AddRow(w.Name(), mode.String(), d, c, o, d+c+o, res[mode].Metrics.NoCUtil)
+			trf.AddRow(w.Name(), mode.String(), d, c, o, d+c+o, res[mode].Metrics.NoCUtil())
 			if mode == sys.AffAlloc {
 				trAff = append(trAff, d+c+o)
 			}

@@ -195,7 +195,7 @@ func Fig15(opt Options) (*Figure, error) {
 	for i, pt := range points {
 		near, aff := rs[2*i], rs[2*i+1]
 		tbl.AddRow(pt.w.Name(), fmt.Sprintf("%dx", pt.mult), speedup(aff, near),
-			aff.Metrics.L3MissRate, near.Metrics.L3MissRate)
+			aff.Metrics.L3MissRate(), near.Metrics.L3MissRate())
 	}
 	return &Figure{
 		ID:     "fig15",
@@ -269,7 +269,7 @@ func Fig16(opt Options) (*Figure, error) {
 			near, hy, mh := rs[i], rs[i+1], rs[i+2]
 			i += len(runs)
 			tbl.AddRow(w.Name(), fmt.Sprintf("2^%d", baseScale+ds), speedup(hy, near), speedup(mh, near),
-				hy.Metrics.L3MissRate, near.Metrics.L3MissRate)
+				hy.Metrics.L3MissRate(), near.Metrics.L3MissRate())
 		}
 	}
 	return &Figure{

@@ -67,6 +67,9 @@ type Options struct {
 	// Timing, when non-nil, records per-cell wall time and simulated
 	// cycles (see CellTiming).
 	Timing *Timing
+	// Collect, when non-nil, records each cell's telemetry snapshot in
+	// deterministic harness order (see Collector).
+	Collect *Collector
 
 	// limit, when set, is a shared pool bounding concurrent cells across
 	// experiments (see ShareWorkers).
@@ -201,10 +204,10 @@ func speedup(newM, baseM workloads.Result) float64 {
 // energyEff returns the energy-efficiency ratio of new over base (equal
 // work assumed).
 func energyEff(newM, baseM workloads.Result) float64 {
-	if newM.Metrics.EnergyTotal == 0 {
+	if newM.Metrics.EnergyTotal() == 0 {
 		return 0
 	}
-	return baseM.Metrics.EnergyTotal / newM.Metrics.EnergyTotal
+	return baseM.Metrics.EnergyTotal() / newM.Metrics.EnergyTotal()
 }
 
 // trafficCols returns a run's data/control/offload flit-hops normalized

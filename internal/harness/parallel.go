@@ -97,9 +97,12 @@ func (o Options) forEach(n int, fn func(i int) error) error {
 // worker budget and returns their results in input order, so output
 // rendered from them is byte-identical to a serial run. Each cell's
 // wall time and simulated cycle count are recorded in opt.Timing when
-// set.
+// set, and its telemetry snapshot lands in opt.Collect at a slot
+// reserved before the cells launch — both outputs are deterministic for
+// any worker count.
 func runCells(opt Options, cells []cell) ([]workloads.Result, error) {
 	out := make([]workloads.Result, len(cells))
+	slot := opt.Collect.reserve(len(cells))
 	err := opt.forEach(len(cells), func(i int) error {
 		start := time.Now()
 		r, err := cells[i].run()
@@ -108,6 +111,7 @@ func runCells(opt Options, cells []cell) ([]workloads.Result, error) {
 		}
 		out[i] = r
 		opt.Timing.observe(cells[i].label, time.Since(start), r.Metrics.Cycles)
+		opt.Collect.put(slot+i, cells[i].label, r.Metrics.Detail)
 		return nil
 	})
 	if err != nil {
@@ -194,7 +198,12 @@ func (t *Timing) Report(w io.Writer) {
 // When timingOut is non-nil a per-experiment accounting line is written
 // there after the figures (and per-cell lines when perCell is set), so
 // the figure stream itself stays deterministic.
-func RunAll(opt Options, out io.Writer, only map[string]bool, timingOut io.Writer, perCell bool) error {
+//
+// When arts requests machine-readable outputs, every experiment's cells
+// are collected and written as one document after the figures, cells
+// labeled "<experiment>/<workload>/<mode>" in registry-then-reservation
+// order — like the figure stream, byte-identical for any worker count.
+func RunAll(opt Options, out io.Writer, only map[string]bool, timingOut io.Writer, perCell bool, arts *Artifacts) error {
 	var sel []Experiment
 	for _, e := range Experiments() {
 		if len(only) == 0 || only[e.ID] {
@@ -204,10 +213,11 @@ func RunAll(opt Options, out io.Writer, only map[string]bool, timingOut io.Write
 	opt = opt.ShareWorkers()
 
 	type expRun struct {
-		buf    bytes.Buffer
-		timing *Timing
-		wall   time.Duration
-		err    error
+		buf     bytes.Buffer
+		timing  *Timing
+		collect *Collector
+		wall    time.Duration
+		err     error
 	}
 	runs := make([]expRun, len(sel))
 	serial := opt.jobs() == 1
@@ -219,6 +229,10 @@ func RunAll(opt Options, out io.Writer, only map[string]bool, timingOut io.Write
 			r.timing = &Timing{}
 			o := opt
 			o.Timing = r.timing
+			if arts.enabled() {
+				r.collect = &Collector{}
+				o.Collect = r.collect
+			}
 			start := time.Now()
 			fig, err := sel[i].Run(o)
 			r.wall = time.Since(start)
@@ -248,6 +262,17 @@ func RunAll(opt Options, out io.Writer, only map[string]bool, timingOut io.Write
 		}
 		if runs[i].err != nil && firstErr == nil {
 			firstErr = runs[i].err
+		}
+	}
+	if arts.enabled() {
+		var cells []CollectedCell
+		for i := range sel {
+			for _, cc := range runs[i].collect.Cells() {
+				cells = append(cells, CollectedCell{Label: sel[i].ID + "/" + cc.Label, Snap: cc.Snap})
+			}
+		}
+		if err := arts.Write(cells); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	if timingOut != nil {

@@ -183,7 +183,7 @@ func TestRunAllSubsetMatchesSerial(t *testing.T) {
 	run := func(jobs int) string {
 		var buf bytes.Buffer
 		err := RunAll(Options{Scale: Tiny, Seed: 1, Jobs: jobs}, &buf,
-			map[string]bool{"fig4": true, "t2": true}, nil, false)
+			map[string]bool{"fig4": true, "t2": true}, nil, false, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"affinityalloc/internal/engine"
+	"affinityalloc/internal/telemetry"
 	"affinityalloc/internal/topo"
 )
 
@@ -63,13 +64,14 @@ func DefaultConfig() Config {
 	}
 }
 
-// ClassStats aggregates traffic for one message class.
+// ClassStats aggregates traffic for one message class. The JSON tags are
+// the stable snake_case metrics schema.
 type ClassStats struct {
-	Messages uint64
-	Flits    uint64
+	Messages uint64 `json:"messages"`
+	Flits    uint64 `json:"flits"`
 	// FlitHops is flits × hops summed over messages — the traffic
 	// measure behind the paper's "NoC Hops" bars.
-	FlitHops uint64
+	FlitHops uint64 `json:"flit_hops"`
 }
 
 // Network is the mesh interconnect model. It is not safe for concurrent
@@ -200,11 +202,42 @@ func (n *Network) Utilization(elapsed engine.Time) float64 {
 	if elapsed == 0 {
 		return 0
 	}
+	return float64(n.TotalLinkFlits()) / (float64(n.mesh.NumLinks()) * float64(elapsed))
+}
+
+// TotalLinkFlits sums flits over every directed link — the numerator of
+// Utilization. Zero when ModelConflict is off (no per-link accounting).
+func (n *Network) TotalLinkFlits() uint64 {
 	var flits uint64
 	for _, f := range n.linkFlits {
 		flits += f
 	}
-	return float64(flits) / (float64(n.mesh.NumLinks()) * float64(elapsed))
+	return flits
+}
+
+// LinkFlits returns a copy of the per-directed-link flit counts, indexed
+// by topo.Mesh.LinkIndex — the per-link heatmap behind Fig 5. Each flit
+// traversal of a link is one hop, so this is also the per-link flit·hop
+// series. Only populated when ModelConflict is on (the default); the
+// fast path skips route enumeration.
+func (n *Network) LinkFlits() []uint64 {
+	out := make([]uint64, len(n.linkFlits))
+	copy(out, n.linkFlits)
+	return out
+}
+
+// PublishTelemetry publishes per-class traffic scalars and the per-link
+// flit heatmap into the registry.
+func (n *Network) PublishTelemetry(r *telemetry.Registry) {
+	for class, st := range n.classes {
+		name := Class(class).String()
+		r.Set("noc_"+name+"_messages", st.Messages)
+		r.Set("noc_"+name+"_flits", st.Flits)
+		r.Set("noc_"+name+"_flit_hops", st.FlitHops)
+	}
+	r.Set("noc_flit_hops", n.TotalFlitHops())
+	r.Set("noc_links", uint64(n.mesh.NumLinks()))
+	r.SetSeries("noc_link_flits", n.linkFlits)
 }
 
 // ResetStats clears traffic counters while keeping link schedules, so a

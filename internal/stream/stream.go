@@ -17,6 +17,7 @@ import (
 	"affinityalloc/internal/engine"
 	"affinityalloc/internal/memsim"
 	"affinityalloc/internal/noc"
+	"affinityalloc/internal/telemetry"
 )
 
 // Config holds the NSC microarchitecture parameters (Table 2).
@@ -79,6 +80,11 @@ type Engine struct {
 	RemoteOps         uint64
 	ElementsComputed  uint64
 
+	// Per-bank breakdowns: where remote operations were served and where
+	// near-stream elements were computed — the SEL3 load-balance view.
+	bankRemoteOps []uint64
+	bankElements  []uint64
+
 	atomicSampler AtomicSampler
 }
 
@@ -88,10 +94,12 @@ func NewEngine(mem *cache.MemSystem, cfg Config) *Engine {
 		cfg = DefaultConfig()
 	}
 	e := &Engine{
-		cfg:        cfg,
-		mem:        mem,
-		net:        mem.Net(),
-		computeSrv: make([]*engine.Server, mem.Banks()),
+		cfg:           cfg,
+		mem:           mem,
+		net:           mem.Net(),
+		computeSrv:    make([]*engine.Server, mem.Banks()),
+		bankRemoteOps: make([]uint64, mem.Banks()),
+		bankElements:  make([]uint64, mem.Banks()),
 	}
 	for i := range e.computeSrv {
 		e.computeSrv[i] = engine.NewServer(cfg.SMTThreads, 8, 4096)
@@ -156,6 +164,7 @@ func (e *Engine) Compute(now engine.Time, bank, elems int) engine.Time {
 		return now
 	}
 	e.ElementsComputed += uint64(elems)
+	e.bankElements[bank] += uint64(elems)
 	dur := (elems + e.cfg.SIMDLanes - 1) / e.cfg.SIMDLanes
 	start := e.computeSrv[bank].Reserve(now, dur)
 	return start + e.cfg.ComputeInit + engine.Time(dur)
@@ -170,6 +179,7 @@ func (e *Engine) Compute(now engine.Time, bank, elems int) engine.Time {
 func (e *Engine) RemoteOp(now engine.Time, fromBank int, va memsim.Addr, write, withResponse bool) (done engine.Time, homeBank int) {
 	e.RemoteOps++
 	homeBank = e.mem.BankOf(va)
+	e.bankRemoteOps[homeBank]++
 	t := now
 	if homeBank != fromBank {
 		t = e.net.Send(t, fromBank, homeBank, noc.Control, e.cfg.RemoteOpBytes)
@@ -192,6 +202,17 @@ func (e *Engine) Forward(now engine.Time, from, to int, bytes int) engine.Time {
 		return now
 	}
 	return e.net.Send(now, from, to, noc.Data, bytes)
+}
+
+// PublishTelemetry publishes the stream-engine op breakdown (scalars)
+// and the per-bank remote-op / computed-element series into the registry.
+func (e *Engine) PublishTelemetry(r *telemetry.Registry) {
+	r.Set("se_streams_configured", e.StreamsConfigured)
+	r.Set("se_migrations", e.Migrations)
+	r.Set("se_remote_ops", e.RemoteOps)
+	r.Set("se_elements_computed", e.ElementsComputed)
+	r.SetSeries("se_bank_remote_ops", e.bankRemoteOps)
+	r.SetSeries("se_bank_elements", e.bankElements)
 }
 
 // MaxComputeFree reports the latest compute schedule horizon — a

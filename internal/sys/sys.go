@@ -5,8 +5,6 @@
 package sys
 
 import (
-	"fmt"
-
 	"affinityalloc/internal/cache"
 	"affinityalloc/internal/core"
 	"affinityalloc/internal/cpu"
@@ -15,39 +13,9 @@ import (
 	"affinityalloc/internal/memsim"
 	"affinityalloc/internal/noc"
 	"affinityalloc/internal/stream"
+	"affinityalloc/internal/telemetry"
 	"affinityalloc/internal/topo"
 )
-
-// Mode selects the execution configuration of §6.
-type Mode int
-
-const (
-	// InCore runs everything on the OOO cores with prefetchers; nothing
-	// is offloaded.
-	InCore Mode = iota
-	// NearL3 offloads streams to the L3 stream engines but is oblivious
-	// to data affinity (baseline allocator, original data structures).
-	NearL3
-	// AffAlloc is NearL3 plus affinity allocation and the co-designed
-	// data structures.
-	AffAlloc
-)
-
-func (m Mode) String() string {
-	switch m {
-	case InCore:
-		return "In-Core"
-	case NearL3:
-		return "Near-L3"
-	case AffAlloc:
-		return "Aff-Alloc"
-	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
-	}
-}
-
-// Modes lists the three configurations in presentation order.
-var Modes = []Mode{InCore, NearL3, AffAlloc}
 
 // Config parameterizes a system build.
 type Config struct {
@@ -98,10 +66,17 @@ type System struct {
 	Cores []*cpu.Core
 	SE    *stream.Engine
 	RT    *core.Runtime
+
+	// spans are the sim-time phases recorded via MarkPhase.
+	spans []telemetry.Span
 }
 
-// New builds a system.
+// New builds a system. The configuration is validated first, so
+// assembly errors carry actionable messages (see Config.Validate).
 func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	mesh, err := topo.NewMesh(cfg.MeshW, cfg.MeshH, cfg.Numbering)
 	if err != nil {
 		return nil, err
@@ -180,58 +155,106 @@ func (s *System) PreloadArray(a *core.ArrayInfo) {
 	s.Mem.Preload(a.Base, a.Bytes())
 }
 
-// Metrics is what one run reports.
-type Metrics struct {
-	Cycles       engine.Time
-	Traffic      [noc.NumClasses]noc.ClassStats
-	FlitHops     uint64
-	NoCUtil      float64
-	L3Accesses   uint64
-	L3Misses     uint64
-	L3MissRate   float64
-	DRAMAccesses uint64
-	Energy       energy.Breakdown
-	EnergyTotal  float64
-	Checksum     uint64
+// MarkPhase records a named sim-time phase (e.g. one BFS iteration) for
+// the Chrome-trace exporter. Phases are carried through Collect into
+// Metrics.Detail.Spans.
+func (s *System) MarkPhase(name, cat string, start, end engine.Time) {
+	if end < start {
+		start, end = end, start
+	}
+	s.spans = append(s.spans, telemetry.Span{
+		Name: name, Cat: cat, Start: uint64(start), Dur: uint64(end - start),
+	})
 }
 
-// Collect gathers metrics at a run's finish cycle.
-func (s *System) Collect(finish engine.Time) Metrics {
-	var m Metrics
-	m.Cycles = finish
-	m.Traffic = s.Net.Stats()
-	m.FlitHops = s.Net.TotalFlitHops()
-	m.NoCUtil = s.Net.Utilization(finish)
-	acc, _, miss := s.Mem.TotalL3Stats()
-	m.L3Accesses, m.L3Misses = acc, miss
-	if acc > 0 {
-		m.L3MissRate = float64(miss) / float64(acc)
-	}
-	m.DRAMAccesses = s.Mem.DRAMReads + s.Mem.DRAMWrites
+// Metrics is what one run reports. Every stored field is a raw count —
+// derived values (miss rates, utilization, energy totals) are methods —
+// and the JSON tags are the stable snake_case metrics schema.
+type Metrics struct {
+	Cycles   engine.Time                    `json:"cycles"`
+	Traffic  [noc.NumClasses]noc.ClassStats `json:"traffic_by_class"`
+	FlitHops uint64                         `json:"noc_flit_hops"`
+	// LinkFlits counts flits through directed links (the utilization
+	// numerator); Links is the directed-link count (its denominator).
+	LinkFlits    uint64           `json:"noc_link_flits"`
+	Links        int              `json:"noc_links"`
+	L3Accesses   uint64           `json:"l3_accesses"`
+	L3Misses     uint64           `json:"l3_misses"`
+	DRAMAccesses uint64           `json:"dram_accesses"`
+	Energy       energy.Breakdown `json:"energy"`
+	// Detail is the full per-tile telemetry snapshot (per-link flits,
+	// per-bank L3 balance, per-core activity, DRAM channel queues).
+	Detail *telemetry.Snapshot `json:"detail,omitempty"`
+}
 
-	var counts energy.Counts
-	for _, c := range s.Cores {
-		active := c.Drained()
-		if active > finish {
-			active = finish
-		}
-		if c.Loads+c.Stores+c.Atomics+c.ALUOps+c.SIMDOps > 0 {
-			counts.CoreActiveCycles += uint64(active)
-		}
-		counts.ALUOps += c.ALUOps
-		counts.SIMDOps += c.SIMDOps
-		counts.L1Accesses += c.L1().Accesses
-		counts.L2Accesses += c.L2().Accesses
+// L3MissRate returns misses/accesses, or 0 before any access.
+func (m Metrics) L3MissRate() float64 {
+	if m.L3Accesses == 0 {
+		return 0
 	}
-	counts.L3Accesses = acc
-	counts.DRAMAccesses = m.DRAMAccesses
-	counts.NoCFlitHops = m.FlitHops
-	counts.SEL3Ops = s.SE.ElementsComputed + s.SE.RemoteOps + s.SE.Migrations
-	counts.ElapsedCycles = uint64(finish)
-	counts.Routers = s.Mesh.Banks()
-	counts.Banks = s.Mesh.Banks()
+	return float64(m.L3Misses) / float64(m.L3Accesses)
+}
+
+// NoCUtil returns the fraction of link-cycles carrying flits over the
+// run — the "NoC Util." dots in Figs 12, 13 and 20.
+func (m Metrics) NoCUtil() float64 {
+	if m.Cycles == 0 || m.Links == 0 {
+		return 0
+	}
+	return float64(m.LinkFlits) / (float64(m.Links) * float64(m.Cycles))
+}
+
+// EnergyTotal sums the energy breakdown.
+func (m Metrics) EnergyTotal() float64 { return m.Energy.Total() }
+
+// Telemetry builds the run's full telemetry snapshot at the finish
+// cycle: every component publishes its counters and per-tile series into
+// a fresh registry, and recorded phases become trace spans.
+func (s *System) Telemetry(finish engine.Time) *telemetry.Snapshot {
+	r := telemetry.NewRegistry()
+	r.Set("cycles", uint64(finish))
+	s.Net.PublishTelemetry(r)
+	s.Mem.PublishTelemetry(r)
+	s.SE.PublishTelemetry(r)
+	cpu.PublishCores(r, s.Cores, finish)
+	for _, sp := range s.spans {
+		r.AddSpan(sp)
+	}
+	return r.Snapshot()
+}
+
+// Collect gathers metrics at a run's finish cycle. It is built on the
+// telemetry registry: the components publish raw counters, and Metrics
+// reads its aggregates back out of the snapshot it keeps in Detail.
+func (s *System) Collect(finish engine.Time) Metrics {
+	snap := s.Telemetry(finish)
+	m := Metrics{
+		Cycles:       finish,
+		Traffic:      s.Net.Stats(),
+		FlitHops:     snap.Scalar("noc_flit_hops"),
+		LinkFlits:    snap.Scalar("noc_link_flits_total"),
+		Links:        int(snap.Scalar("noc_links")),
+		L3Accesses:   snap.Scalar("l3_bank_accesses_total"),
+		L3Misses:     snap.Scalar("l3_bank_misses_total"),
+		DRAMAccesses: snap.Scalar("dram_chan_reads_total") + snap.Scalar("dram_chan_writes_total"),
+		Detail:       snap,
+	}
+	counts := energy.Counts{
+		CoreActiveCycles: snap.Scalar("core_active_cycles_total"),
+		ALUOps:           snap.Scalar("core_alu_ops_total"),
+		SIMDOps:          snap.Scalar("core_simd_ops_total"),
+		L1Accesses:       snap.Scalar("core_l1_accesses_total"),
+		L2Accesses:       snap.Scalar("core_l2_accesses_total"),
+		L3Accesses:       m.L3Accesses,
+		DRAMAccesses:     m.DRAMAccesses,
+		NoCFlitHops:      m.FlitHops,
+		SEL3Ops: snap.Scalar("se_elements_computed") +
+			snap.Scalar("se_remote_ops") + snap.Scalar("se_migrations"),
+		ElapsedCycles: uint64(finish),
+		Routers:       s.Mesh.Banks(),
+		Banks:         s.Mesh.Banks(),
+	}
 	m.Energy = energy.Estimate(counts, s.Cfg.Energy)
-	m.EnergyTotal = m.Energy.Total()
 	return m
 }
 

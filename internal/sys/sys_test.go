@@ -84,11 +84,20 @@ func TestCollectMetrics(t *testing.T) {
 	if m.Cycles != done {
 		t.Errorf("cycles %d, want %d", m.Cycles, done)
 	}
-	if m.L3Accesses != 1 || m.L3MissRate != 0 {
-		t.Errorf("L3 stats %d/%f", m.L3Accesses, m.L3MissRate)
+	if m.L3Accesses != 1 || m.L3MissRate() != 0 {
+		t.Errorf("L3 stats %d/%f", m.L3Accesses, m.L3MissRate())
 	}
-	if m.EnergyTotal <= 0 {
+	if m.EnergyTotal() <= 0 {
 		t.Error("no energy estimated")
+	}
+	if m.Detail == nil {
+		t.Fatal("Collect attached no telemetry snapshot")
+	}
+	if got := m.Detail.Scalar("l3_bank_accesses_total"); got != m.L3Accesses {
+		t.Errorf("snapshot l3_bank_accesses_total %d, want %d", got, m.L3Accesses)
+	}
+	if banks := m.Detail.SeriesOf("l3_bank_accesses"); len(banks) != 64 {
+		t.Errorf("per-bank access series has %d entries, want 64", len(banks))
 	}
 }
 

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion identifies the metrics-document layout. Bump only on
+// incompatible changes; additions of new counter names are compatible.
+const SchemaVersion = 1
+
+// Cell is one simulation cell's telemetry in a Document: a (workload ×
+// configuration) run, labeled as the harness labels its cells.
+type Cell struct {
+	Label   string              `json:"label"`
+	Scalars map[string]uint64   `json:"scalars"`
+	Series  map[string][]uint64 `json:"series,omitempty"`
+}
+
+// Document is the stable machine-readable metrics file written by
+// `affsim -metrics-out` / `afftables -metrics-out`. Cells appear in a
+// fixed harness order, so the file is byte-identical for any -j.
+type Document struct {
+	SchemaVersion int    `json:"schema_version"`
+	Experiment    string `json:"experiment,omitempty"`
+	Scale         string `json:"scale,omitempty"`
+	Seed          int64  `json:"seed"`
+	Cells         []Cell `json:"cells"`
+}
+
+// AddCell appends a snapshot as a labeled cell.
+func (d *Document) AddCell(label string, s *Snapshot) {
+	c := Cell{Label: label}
+	if s != nil {
+		c.Scalars = s.Scalars
+		c.Series = s.Series
+	}
+	d.Cells = append(d.Cells, c)
+}
+
+// WriteJSON writes the document as deterministic, indented JSON.
+// encoding/json sorts map keys, so the byte stream depends only on the
+// document contents, never on map iteration or goroutine scheduling.
+func (d *Document) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ParseDocument decodes and validates a metrics document.
+func ParseDocument(data []byte) (*Document, error) {
+	var d Document
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("telemetry: metrics document does not parse: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Validate checks the document against the exported schema: a known
+// schema version, non-empty uniquely-ordered cell labels, a "cycles"
+// scalar per cell, and internally consistent series (every series under
+// one per-category name has one fixed length).
+func (d *Document) Validate() error {
+	if d.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("telemetry: schema_version %d, this build reads %d", d.SchemaVersion, SchemaVersion)
+	}
+	if len(d.Cells) == 0 {
+		return fmt.Errorf("telemetry: document has no cells")
+	}
+	for i, c := range d.Cells {
+		if c.Label == "" {
+			return fmt.Errorf("telemetry: cell %d has an empty label", i)
+		}
+		if _, ok := c.Scalars["cycles"]; !ok {
+			return fmt.Errorf("telemetry: cell %q has no cycles scalar", c.Label)
+		}
+		for name, vals := range c.Series {
+			if len(vals) == 0 {
+				return fmt.Errorf("telemetry: cell %q series %q is empty", c.Label, name)
+			}
+			if got, want := c.Scalars[name+"_total"], sumU64(vals); got != want {
+				return fmt.Errorf("telemetry: cell %q series %q sums to %d but %s_total is %d",
+					c.Label, name, want, name, got)
+			}
+		}
+	}
+	return nil
+}
+
+func sumU64(vals []uint64) uint64 {
+	var s uint64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}

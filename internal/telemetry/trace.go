@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one Chrome trace_event entry. The simulator maps one
+// simulated cycle to one microsecond of trace time (the viewer's native
+// unit), so a span of N cycles renders N µs wide; absolute wall time is
+// meaningless for a discrete-event run anyway.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceDoc is the trace_event container format understood by
+// chrome://tracing and Perfetto.
+type traceDoc struct {
+	TraceEvents []traceEvent      `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteTrace writes spans as a Chrome trace_event JSON document (load it
+// in chrome://tracing or https://ui.perfetto.dev). Spans keep their input
+// order; the byte stream depends only on the inputs, so exports are
+// reproducible. All events share pid 0 — rows are distinguished by TID,
+// and threadNames[i] (when set) labels row i via a thread_name metadata
+// event.
+func WriteTrace(w io.Writer, spans []Span, threadNames []string, metadata map[string]string) error {
+	doc := traceDoc{TraceEvents: make([]traceEvent, 0, len(spans)+len(threadNames)), Metadata: metadata}
+	for tid, name := range threadNames {
+		if name == "" {
+			continue
+		}
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: tid,
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, s := range spans {
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: s.Start, Dur: s.Dur, PID: 0, TID: s.TID,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

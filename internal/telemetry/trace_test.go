@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func goldenSpans() ([]Span, []string, map[string]string) {
+	spans := []Span{
+		{Name: "bfs iter 0 (push)", Cat: "bfs", TID: 0, Start: 0, Dur: 1200},
+		{Name: "bfs iter 1 (pull)", Cat: "bfs", TID: 0, Start: 1200, Dur: 800},
+		{Name: "bfs iter 0 (push)", Cat: "bfs", TID: 1, Start: 0, Dur: 640},
+	}
+	threads := []string{"fig12/bfs/Near-L3", "fig12/bfs/Aff-Alloc"}
+	meta := map[string]string{"experiment": "fig12", "scale": "tiny", "seed": "1"}
+	return spans, threads, meta
+}
+
+// TestWriteTraceGolden pins the exact byte stream of the Chrome trace
+// exporter: the trace_event format is consumed by external tools
+// (chrome://tracing, Perfetto), so accidental format drift must fail
+// loudly. Refresh with `go test ./internal/telemetry -run Golden -update`.
+func TestWriteTraceGolden(t *testing.T) {
+	spans, threads, meta := goldenSpans()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, spans, threads, meta); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace export drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteTraceShape checks the structural invariants any trace_event
+// consumer relies on: one metadata event per named thread, one complete
+// ("X") event per span, all on pid 0.
+func TestWriteTraceShape(t *testing.T) {
+	spans, threads, meta := goldenSpans()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, spans, threads, meta); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		Metadata    map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var x, m int
+	for _, ev := range doc.TraceEvents {
+		if pid, _ := ev["pid"].(float64); pid != 0 {
+			t.Errorf("event on pid %v, want 0", ev["pid"])
+		}
+		switch ev["ph"] {
+		case "X":
+			x++
+		case "M":
+			m++
+		}
+	}
+	if x != len(spans) || m != len(threads) {
+		t.Errorf("got %d X and %d M events, want %d and %d", x, m, len(spans), len(threads))
+	}
+	if doc.Metadata["experiment"] != "fig12" {
+		t.Errorf("metadata lost: %v", doc.Metadata)
+	}
+}

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"affinityalloc/internal/cpu"
 	"affinityalloc/internal/dstruct"
 	"affinityalloc/internal/engine"
@@ -196,6 +198,11 @@ func (w BFS) RunTraced(s *sys.System, mode sys.Mode) (Result, []IterTrace, error
 	cs := newChecksum()
 	for v := int64(0); v < n; v++ {
 		cs.addU32(uint32(level[v]))
+	}
+	// Record each iteration as a sim-time phase so the Chrome-trace
+	// exporter can render the Fig-18 push/pull timeline.
+	for _, tr := range traces {
+		s.MarkPhase(fmt.Sprintf("bfs iter %d (%v)", tr.Iter, tr.Dir), "bfs", tr.Start, tr.End)
 	}
 	res := Result{Name: w.Name(), Mode: mode, Metrics: s.Collect(finish), Checksum: cs.sum()}
 	return res, traces, nil
