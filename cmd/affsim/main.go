@@ -7,6 +7,7 @@
 //	affsim -exp fig12 [-scale tiny|default|paper] [-seed N] [-j N]
 //	affsim -all [-scale ...] [-seed N] [-j N] [-timing]
 //	affsim -workload bfs [-scale ...] [-policy hybrid5|minhop|rnd|lnr] [-mode affalloc]
+//	affsim ... [-faults dead-banks=2,dead-links=2] (degraded-substrate runs)
 //	affsim ... [-metrics-out m.json] [-trace-out t.json] [-pprof cpu.prof]
 //	affsim -validate-metrics m.json
 //
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"affinityalloc/internal/core"
+	"affinityalloc/internal/faults"
 	"affinityalloc/internal/harness"
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/sys"
@@ -35,20 +38,21 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiments and workloads")
-		exp      = flag.String("exp", "", "experiment id to regenerate (fig4, fig6, fig12, ...)")
-		all      = flag.Bool("all", false, "regenerate every experiment")
-		workload = flag.String("workload", "", "workload to run under all three configurations")
-		scaleStr = flag.String("scale", "default", "experiment scale: tiny|default|paper")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		jobs     = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
-		timing   = flag.Bool("timing", false, "report per-cell wall time and sim-cycles/s on stderr")
-		policy   = flag.String("policy", "hybrid5", "bank policy: rnd|lnr|minhop|hybrid1|hybrid3|hybrid5|hybrid7")
-		modeStr  = flag.String("mode", "all", "with -workload: run one configuration (incore|nearl3|affalloc) or all")
-		metrics  = flag.String("metrics-out", "", "write per-cell telemetry as a metrics JSON document")
-		trace    = flag.String("trace-out", "", "write sim-time phases as a Chrome trace_event JSON timeline")
-		pprofOut = flag.String("pprof", "", "write a CPU profile of the simulator itself")
-		validate = flag.String("validate-metrics", "", "parse and schema-check a metrics JSON document, then exit")
+		list      = flag.Bool("list", false, "list experiments and workloads")
+		exp       = flag.String("exp", "", "experiment id to regenerate (fig4, fig6, fig12, ...)")
+		all       = flag.Bool("all", false, "regenerate every experiment")
+		workload  = flag.String("workload", "", "workload to run under all three configurations")
+		scaleStr  = flag.String("scale", "default", "experiment scale: tiny|default|paper")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		jobs      = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
+		timing    = flag.Bool("timing", false, "report per-cell wall time and sim-cycles/s on stderr")
+		policy    = flag.String("policy", "hybrid5", "bank policy: rnd|lnr|minhop|hybrid1|hybrid3|hybrid5|hybrid7")
+		modeStr   = flag.String("mode", "all", "with -workload: run one configuration (incore|nearl3|affalloc) or all")
+		metrics   = flag.String("metrics-out", "", "write per-cell telemetry as a metrics JSON document")
+		trace     = flag.String("trace-out", "", "write sim-time phases as a Chrome trace_event JSON timeline")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile of the simulator itself")
+		validate  = flag.String("validate-metrics", "", "parse and schema-check a metrics JSON document, then exit")
+		faultsStr = flag.String("faults", "", "degrade the machine, e.g. dead-banks=2,dead-link=3>4,drop-link=0>1:0.05,dram-slow=0:2 (see faults.Parse)")
 	)
 	flag.Parse()
 
@@ -68,19 +72,23 @@ func main() {
 	}
 
 	if err := run(*list, *exp, *all, *workload, *scaleStr, *seed, *jobs, *timing,
-		*policy, *modeStr, *metrics, *trace, *validate); err != nil {
+		*policy, *modeStr, *metrics, *trace, *validate, *faultsStr); err != nil {
 		pprof.StopCPUProfile()
 		fatal(err)
 	}
 }
 
 func run(list bool, exp string, all bool, workload, scaleStr string, seed int64, jobs int,
-	timing bool, policy, modeStr, metricsPath, tracePath, validatePath string) error {
+	timing bool, policy, modeStr, metricsPath, tracePath, validatePath, faultsStr string) error {
 	scale, err := harness.ParseScale(scaleStr)
 	if err != nil {
 		return err
 	}
-	opt := harness.Options{Scale: scale, Seed: seed, Jobs: jobs}
+	spec, err := faults.Parse(faultsStr)
+	if err != nil {
+		return err
+	}
+	opt := harness.Options{Scale: scale, Seed: seed, Jobs: jobs, Faults: spec}
 
 	switch {
 	case validatePath != "":
@@ -114,7 +122,15 @@ func run(list bool, exp string, all bool, workload, scaleStr string, seed int64,
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "affsim:", err)
+	var fails *harness.CellFailures
+	if errors.As(err, &fails) {
+		// One-line failure summary: which cells died; their reasons are
+		// already in the report/FAILED markings.
+		fmt.Fprintf(os.Stderr, "affsim: %d cell(s) failed: %s\n",
+			len(fails.Cells), strings.Join(fails.Failed(), ", "))
+	} else {
+		fmt.Fprintln(os.Stderr, "affsim:", err)
+	}
 	os.Exit(1)
 }
 
@@ -282,25 +298,52 @@ func runWorkload(opt harness.Options, name, policyStr, modeStr, metricsPath, tra
 	cfg := sys.DefaultConfig()
 	cfg.Seed = opt.Seed
 	cfg.Policy = pcfg
+	cfg.Faults = opt.Faults
 	var base workloads.Result
 	var cells []harness.CollectedCell
+	var failed []harness.CellFailure
+	haveBase := false
 	for i, mode := range modes {
-		res, err := workloads.Run(cfg, w, mode)
+		res, err := runGuarded(cfg, w, mode)
+		label := fmt.Sprintf("%s/%v", name, mode)
 		if err != nil {
-			return err
+			// A failed configuration doesn't abort the others: render its
+			// row as FAILED and keep going (exit status stays non-zero).
+			failed = append(failed, harness.CellFailure{Index: i, Label: label, Err: err})
+			tbl.AddRow(mode.String(), "FAILED", "-", "-", "-", "-", "-", "-", "-")
+			continue
 		}
-		if i == 0 {
-			base = res
+		if !haveBase {
+			base, haveBase = res, true
 		}
-		cells = append(cells, harness.CollectedCell{
-			Label: fmt.Sprintf("%s/%v", name, mode),
-			Snap:  res.Metrics.Detail,
-		})
+		cells = append(cells, harness.CollectedCell{Label: label, Snap: res.Metrics.Detail})
 		d, c, o := res.Metrics.DataHops()
 		tbl.AddRow(mode.String(), uint64(res.Metrics.Cycles),
 			float64(base.Metrics.Cycles)/float64(res.Metrics.Cycles),
 			d, c, o, res.Metrics.L3MissRate(), res.Metrics.NoCUtil(), res.Metrics.EnergyTotal())
 	}
 	tbl.Render(os.Stdout)
-	return arts.Write(cells)
+	if err := arts.Write(cells); err != nil {
+		return err
+	}
+	if len(failed) > 0 {
+		return &harness.CellFailures{Cells: failed}
+	}
+	return nil
+}
+
+// runGuarded runs one (workload, mode) cell converting panics inside the
+// simulation — typed data-plane access failures included — into errors, so
+// one crashing configuration cannot take down the whole invocation.
+func runGuarded(cfg sys.Config, w workloads.Workload, mode sys.Mode) (res workloads.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				err = fmt.Errorf("panic: %w", e)
+			} else {
+				err = fmt.Errorf("panic: %v", rec)
+			}
+		}
+	}()
+	return workloads.Run(cfg, w, mode)
 }

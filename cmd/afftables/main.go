@@ -6,6 +6,7 @@
 //
 //	afftables [-scale tiny|default|paper] [-seed N] [-j N] [-timing]
 //	          [-o report.txt] [-only fig12,fig13]
+//	          [-faults dead-banks=2] [-faults-sweep]
 //	          [-metrics-out m.json] [-trace-out t.json] [-pprof cpu.prof]
 //
 // Experiments run concurrently across -j worker goroutines and their
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,20 +24,23 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"affinityalloc/internal/faults"
 	"affinityalloc/internal/harness"
 )
 
 func main() {
 	var (
-		scaleStr = flag.String("scale", "default", "experiment scale: tiny|default|paper")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		jobs     = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
-		timing   = flag.Bool("timing", false, "also report per-cell wall time and sim-cycles/s on stderr")
-		outPath  = flag.String("o", "", "output file (default stdout)")
-		only     = flag.String("only", "", "comma-separated experiment ids (default all)")
-		metrics  = flag.String("metrics-out", "", "write per-cell telemetry as a metrics JSON document")
-		trace    = flag.String("trace-out", "", "write sim-time phases as a Chrome trace_event JSON timeline")
-		pprofOut = flag.String("pprof", "", "write a CPU profile of the simulator itself")
+		scaleStr  = flag.String("scale", "default", "experiment scale: tiny|default|paper")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		jobs      = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
+		timing    = flag.Bool("timing", false, "also report per-cell wall time and sim-cycles/s on stderr")
+		outPath   = flag.String("o", "", "output file (default stdout)")
+		only      = flag.String("only", "", "comma-separated experiment ids (default all)")
+		metrics   = flag.String("metrics-out", "", "write per-cell telemetry as a metrics JSON document")
+		trace     = flag.String("trace-out", "", "write sim-time phases as a Chrome trace_event JSON timeline")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile of the simulator itself")
+		faultsStr = flag.String("faults", "", "degrade the machine for every experiment, e.g. dead-banks=2,dead-link=3>4 (see faults.Parse)")
+		sweep     = flag.Bool("faults-sweep", false, "render the degraded-substrate sweep (dead banks/links x allocation modes) instead of the report")
 	)
 	flag.Parse()
 
@@ -44,7 +49,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "afftables:", err)
 		os.Exit(1)
 	}
-	opt := harness.Options{Scale: scale, Seed: *seed, Jobs: *jobs}
+	spec, err := faults.Parse(*faultsStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "afftables:", err)
+		os.Exit(1)
+	}
+	opt := harness.Options{Scale: scale, Seed: *seed, Jobs: *jobs, Faults: spec}
 
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -110,9 +120,36 @@ func main() {
 		}
 	}()
 
+	if *sweep {
+		// The sweep tolerates per-cell failures: the table renders with
+		// FAILED(<reason>) cells and the exit status stays non-zero.
+		fig, err := harness.FaultsSweep(opt)
+		if fig != nil {
+			fig.Render(out)
+		}
+		if err != nil {
+			failSummary(err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Fprintf(out, "# Affinity Alloc — regenerated evaluation (scale=%v, seed=%d)\n\n", scale, *seed)
 	if err := harness.RunAll(opt, out, want, os.Stderr, *timing, arts); err != nil {
-		fmt.Fprintln(os.Stderr, "afftables:", err)
+		failSummary(err)
 		os.Exit(1)
 	}
+}
+
+// failSummary writes a one-line failure summary: for cell failures, which
+// cells died (their reasons are already in the report's FAILED markings);
+// for anything else, the error itself.
+func failSummary(err error) {
+	var fails *harness.CellFailures
+	if errors.As(err, &fails) {
+		fmt.Fprintf(os.Stderr, "afftables: %d cell(s) failed: %s\n",
+			len(fails.Cells), strings.Join(fails.Failed(), ", "))
+		return
+	}
+	fmt.Fprintln(os.Stderr, "afftables:", err)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"affinityalloc/internal/engine"
+	"affinityalloc/internal/faults"
 	"affinityalloc/internal/memsim"
 	"affinityalloc/internal/noc"
 	"affinityalloc/internal/telemetry"
@@ -17,6 +18,9 @@ type MemSysConfig struct {
 	BankOccupancy engine.Time // per-access bank busy time (pipelined)
 	DRAMLatency   engine.Time // access latency at 2GHz (~50ns)
 	DRAMServe     engine.Time // per-line channel serialization (bandwidth)
+	// Faults, when set, throttles DRAM channels: latency multipliers
+	// stretch accesses, duty-cycle blackouts delay service start.
+	Faults *faults.Injector
 }
 
 // DefaultMemSysConfig mirrors Table 2: 64MB total L3 across 64 banks,
@@ -139,22 +143,33 @@ func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bo
 		return done, true
 	}
 
-	// Miss: request line from the nearest DRAM channel.
+	// Miss: request line from the nearest DRAM channel. A channel throttle
+	// (fault injection) can push the service start past a blackout window
+	// and stretch the access latency; the wait shows up as channel queue
+	// cycles like any other backpressure.
 	ci := m.nearestCtrl[bank]
 	ctrl := m.ctrls[ci]
 	reqArrive := m.net.Send(done, bank, ctrl, noc.Control, 8)
-	dramStart := m.dramSrv[ci].Reserve(reqArrive, int(m.cfg.DRAMServe))
+	ready, latency := reqArrive, m.cfg.DRAMLatency
+	if m.cfg.Faults != nil {
+		ready, latency = m.cfg.Faults.DRAMAdjust(ci, reqArrive, latency)
+	}
+	dramStart := m.dramSrv[ci].Reserve(ready, int(m.cfg.DRAMServe))
 	m.DRAMReads++
 	m.chanReads[ci]++
 	m.chanQueueCycles[ci] += uint64(dramStart - reqArrive)
-	dataReady := dramStart + m.cfg.DRAMLatency
+	dataReady := dramStart + latency
 	respArrive := m.net.Send(dataReady, ctrl, bank, noc.Data, memsim.LineSize)
 
 	if dirtyVictim {
 		// Write the victim back lazily; it occupies the channel but does
 		// not delay the demand fill's critical path.
 		wbArrive := m.net.Send(done, bank, ctrl, noc.Data, memsim.LineSize)
-		wbStart := m.dramSrv[ci].Reserve(wbArrive, int(m.cfg.DRAMServe))
+		wbReady := wbArrive
+		if m.cfg.Faults != nil {
+			wbReady, _ = m.cfg.Faults.DRAMAdjust(ci, wbArrive, 0)
+		}
+		wbStart := m.dramSrv[ci].Reserve(wbReady, int(m.cfg.DRAMServe))
 		m.DRAMWrites++
 		m.chanWrites[ci]++
 		m.chanQueueCycles[ci] += uint64(wbStart - wbArrive)

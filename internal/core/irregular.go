@@ -67,15 +67,27 @@ func (r *Runtime) AllocAtBank(size int64, bank int) (memsim.Addr, error) {
 	return addr, nil
 }
 
-// selectBank applies the configured bank-selection policy.
+// selectBank applies the configured bank-selection policy. When fault
+// injection has disabled banks, every policy restricts itself to the
+// survivors — the degraded bank map the space reports — so placement
+// re-evaluates against the machine that actually exists. On a clean
+// machine the RNG draw sequence is exactly the historical one (no extra
+// draws), keeping un-faulted runs byte-identical.
 func (r *Runtime) selectBank(affinity []memsim.Addr) int {
 	nb := r.mesh.Banks()
+	alive := r.space.AliveBanks() // nil when every bank is alive
 	switch r.pcfg.Policy {
 	case Rnd:
-		return r.rng.Intn(nb)
+		if alive == nil {
+			return r.rng.Intn(nb)
+		}
+		return alive[r.rng.Intn(len(alive))]
 	case Lnr:
 		b := r.lnrNext
-		r.lnrNext = (r.lnrNext + 1) % nb
+		for alive != nil && !r.space.BankAlive(b) {
+			b = (b + 1) % nb
+		}
+		r.lnrNext = (b + 1) % nb
 		return b
 	}
 
@@ -83,7 +95,10 @@ func (r *Runtime) selectBank(affinity []memsim.Addr) int {
 	// to a random bank rather than a degenerate constant choice (Hybrid
 	// still uses its load term, which spreads allocations on its own).
 	if len(affinity) == 0 && r.pcfg.Policy == MinHop {
-		return r.rng.Intn(nb)
+		if alive == nil {
+			return r.rng.Intn(nb)
+		}
+		return alive[r.rng.Intn(len(alive))]
 	}
 
 	// MinHop and Hybrid score every bank with Eq. 4. Collapse affinity
@@ -108,11 +123,14 @@ func (r *Runtime) selectBank(affinity []memsim.Addr) int {
 	if r.pcfg.Policy == Hybrid {
 		h = r.pcfg.H
 	}
-	best, bestScore := 0, 0.0
+	best, bestScore, first := 0, 0.0, true
 	for b := 0; b < nb; b++ {
+		if alive != nil && !r.space.BankAlive(b) {
+			continue
+		}
 		s := r.scoreBank(b, affBanks, affCounts, len(affinity), h)
-		if b == 0 || s < bestScore {
-			best, bestScore = b, s
+		if first || s < bestScore {
+			best, bestScore, first = b, s, false
 		}
 	}
 	return best

@@ -185,11 +185,13 @@ func New(space *memsim.Space, mesh *topo.Mesh, pcfg PolicyConfig, seed int64) (*
 	return r, nil
 }
 
-// MustNew is New that panics on error.
+// MustNew is New that panics on error. Callers use it only with a space
+// and mesh built from the same validated config, so a mismatch here is a
+// wiring bug, and the panic names that invariant.
 func MustNew(space *memsim.Space, mesh *topo.Mesh, pcfg PolicyConfig, seed int64) *Runtime {
 	r, err := New(space, mesh, pcfg, seed)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("core: MustNew with a space/mesh pair from mismatched configs (programmer error — use New for untrusted pairings): %v", err))
 	}
 	return r
 }

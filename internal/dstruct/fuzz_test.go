@@ -1,0 +1,91 @@
+package dstruct
+
+import (
+	"testing"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/memsim"
+	"affinityalloc/internal/topo"
+)
+
+// FuzzQueuePushSequences drives the global and spatial work queues with
+// arbitrary push sequences and checks the invariants every graph workload
+// leans on: pushes either land (preserving FIFO order and, for the
+// spatial queue, partition ownership) or fail cleanly at capacity — never
+// corrupt a neighboring slot or panic.
+func FuzzQueuePushSequences(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{255, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		const nVerts = 64
+		space := memsim.MustSpace(memsim.DefaultConfig())
+		mesh := topo.MustMesh(8, 8, topo.RowMajor)
+		rt := core.MustNew(space, mesh, core.DefaultPolicy(), 3)
+
+		gq, err := NewGlobalQueue(rt, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vInfo, err := rt.AllocAffine(core.AffineSpec{ElemSize: 4, NumElem: nVerts, Partition: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq, err := NewSpatialQueue(rt, vInfo, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var gWant []int32
+		sWant := make(map[int64][]int32)
+		for _, b := range data {
+			v := int32(b) % nVerts
+			if _, _, err := gq.Push(v); err == nil {
+				gWant = append(gWant, v)
+			} else if int64(len(gWant)) < 32 {
+				t.Fatalf("global push failed below capacity: %v", err)
+			}
+			p := sq.PartOf(v)
+			if _, _, err := sq.Push(v); err == nil {
+				sWant[p] = append(sWant[p], v)
+			}
+		}
+
+		if gq.Len() != int64(len(gWant)) {
+			t.Fatalf("global len %d, pushed %d", gq.Len(), len(gWant))
+		}
+		for i, want := range gWant {
+			if got := gq.Get(int64(i)); got != want {
+				t.Fatalf("global slot %d = %d, want %d", i, got, want)
+			}
+		}
+
+		var sTotal int64
+		for p, want := range sWant {
+			sTotal += int64(len(want))
+			for i, w := range want {
+				got := sq.Get(p, int64(i))
+				if got != w {
+					t.Fatalf("spatial part %d slot %d = %d, want %d", p, i, got, w)
+				}
+				if sq.PartOf(got) != p {
+					t.Fatalf("value %d landed in partition %d but belongs to %d", got, p, sq.PartOf(got))
+				}
+			}
+		}
+		if sq.Len() != sTotal {
+			t.Fatalf("spatial len %d, pushed %d", sq.Len(), sTotal)
+		}
+		lens := sq.Lens()
+		for p := int64(0); p < sq.Parts(); p++ {
+			if lens[p] != int64(len(sWant[p])) {
+				t.Fatalf("partition %d len %d, pushed %d", p, lens[p], len(sWant[p]))
+			}
+		}
+	})
+}

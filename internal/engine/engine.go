@@ -47,6 +47,9 @@ type Sim struct {
 	now Time
 	seq uint64
 	rng *rand.Rand
+	// diags are the registered watchdog diagnostics (see AddDiagnostic);
+	// they run only when RunGuarded trips.
+	diags []diagnostic
 }
 
 // New builds a kernel whose random source is seeded deterministically.

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WatchdogConfig bounds a guarded event-loop run. The zero value applies
+// only the stall detector at its default threshold.
+type WatchdogConfig struct {
+	// MaxCycles aborts the run before executing any event scheduled past
+	// this cycle (0: no cycle budget). The clock never reaches
+	// MaxCycles+1, so a stuck event graph that keeps rescheduling itself
+	// into the future terminates instead of spinning forever.
+	MaxCycles Time
+	// StallEvents aborts after this many consecutive events execute
+	// without the clock advancing — a same-cycle livelock, the
+	// event-queue analogue of a deadlock (0: DefaultStallEvents).
+	StallEvents int
+}
+
+// DefaultStallEvents is the same-cycle event budget when
+// WatchdogConfig.StallEvents is zero. Real systems schedule at most a few
+// events per component per cycle; a million without the clock moving is a
+// wedged event graph, not load.
+const DefaultStallEvents = 1 << 20
+
+// PendingEvent is one queued event in a diagnostic dump: when it would
+// fire and its scheduling sequence number (which identifies scheduling
+// order — the closest thing an opaque func has to an identity).
+type PendingEvent struct {
+	At  Time
+	Seq uint64
+}
+
+// StallError reports a watchdog trip: why the run was aborted, where the
+// clock stood, and a bounded snapshot of the stuck event graph plus any
+// registered component diagnostics (in-flight NoC horizons, bank queue
+// depths — whatever the system wired in via AddDiagnostic).
+type StallError struct {
+	Reason      string
+	Now         Time
+	Executed    uint64         // events executed before the trip
+	QueueLen    int            // total pending events at the trip
+	Pending     []PendingEvent // earliest pending events (capped)
+	Diagnostics []string       // "name: value" lines from AddDiagnostic
+}
+
+// pendingDumpCap bounds the pending-event snapshot in a StallError.
+const pendingDumpCap = 16
+
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: watchdog: %s at cycle %d after %d events; %d pending", e.Reason, e.Now, e.Executed, e.QueueLen)
+	if len(e.Pending) > 0 {
+		b.WriteString(" [")
+		for i, p := range e.Pending {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "@%d#%d", p.At, p.Seq)
+		}
+		if e.QueueLen > len(e.Pending) {
+			fmt.Fprintf(&b, " +%d more", e.QueueLen-len(e.Pending))
+		}
+		b.WriteString("]")
+	}
+	for _, d := range e.Diagnostics {
+		b.WriteString("; ")
+		b.WriteString(d)
+	}
+	return b.String()
+}
+
+// diagnostic is one registered dump hook.
+type diagnostic struct {
+	name string
+	fn   func() string
+}
+
+// AddDiagnostic registers a named dump hook included in any StallError
+// this kernel produces. Components register cheap state reporters (queue
+// horizons, in-flight counts); the hooks run only on a trip.
+func (s *Sim) AddDiagnostic(name string, fn func() string) {
+	s.diags = append(s.diags, diagnostic{name: name, fn: fn})
+}
+
+// PendingEvents returns a snapshot of up to max queued events in firing
+// order (all of them when max <= 0).
+func (s *Sim) PendingEvents(max int) []PendingEvent {
+	out := make([]PendingEvent, len(s.pq))
+	for i, e := range s.pq {
+		out[i] = PendingEvent{At: e.at, Seq: e.seq}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// stallError builds the diagnostic dump for a trip.
+func (s *Sim) stallError(reason string, executed uint64) *StallError {
+	e := &StallError{
+		Reason:   reason,
+		Now:      s.now,
+		Executed: executed,
+		QueueLen: len(s.pq),
+		Pending:  s.PendingEvents(pendingDumpCap),
+	}
+	for _, d := range s.diags {
+		e.Diagnostics = append(e.Diagnostics, d.name+": "+d.fn())
+	}
+	return e
+}
+
+// RunGuarded executes events like Run but under a no-progress watchdog:
+// it aborts with a *StallError — carrying a pending-event dump and the
+// registered diagnostics — instead of hanging when the event graph stops
+// making progress (same-cycle livelock) or runs past its cycle budget.
+// On a clean drain it returns the final cycle and a nil error, exactly
+// like Run.
+func (s *Sim) RunGuarded(cfg WatchdogConfig) (Time, error) {
+	stallBudget := cfg.StallEvents
+	if stallBudget <= 0 {
+		stallBudget = DefaultStallEvents
+	}
+	var executed uint64
+	sameCycle := 0
+	for len(s.pq) > 0 {
+		next := s.pq[0].at
+		if cfg.MaxCycles > 0 && next > cfg.MaxCycles {
+			return s.now, s.stallError(fmt.Sprintf("cycle budget %d exceeded (next event at %d)", cfg.MaxCycles, next), executed)
+		}
+		if next == s.now {
+			sameCycle++
+			if sameCycle > stallBudget {
+				return s.now, s.stallError(fmt.Sprintf("no progress: %d events executed without the clock advancing", sameCycle), executed)
+			}
+		} else {
+			sameCycle = 0
+		}
+		e := heap.Pop(&s.pq).(event)
+		s.now = e.at
+		e.fn()
+		executed++
+	}
+	return s.now, nil
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Two nodes passing a token at the same cycle forever: the event-queue
+// shape of a deadlocked credit loop. Run would spin on it; RunGuarded
+// must trip the stall detector.
+func TestWatchdogTripsOnSameCycleLivelock(t *testing.T) {
+	s := New(1)
+	var nodeA, nodeB func()
+	nodeA = func() { s.At(s.Now(), nodeB) }
+	nodeB = func() { s.At(s.Now(), nodeA) }
+	s.At(10, nodeA)
+	s.AddDiagnostic("noc", func() string { return "horizon=42" })
+
+	_, err := s.RunGuarded(WatchdogConfig{StallEvents: 100})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if stall.Reason == "" || !strings.Contains(stall.Reason, "no progress") {
+		t.Fatalf("reason %q", stall.Reason)
+	}
+	if stall.Now != 10 {
+		t.Fatalf("tripped at cycle %d, want 10 (the clock never advanced)", stall.Now)
+	}
+	if stall.QueueLen == 0 || len(stall.Pending) == 0 {
+		t.Fatal("stall error carries no pending-event dump")
+	}
+	msg := err.Error()
+	for _, want := range []string{"watchdog", "no progress", "pending", "@10#", "noc: horizon=42"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+// An event graph that keeps rescheduling itself into the future never
+// drains; the cycle budget bounds it.
+func TestWatchdogTripsOnCycleBudget(t *testing.T) {
+	s := New(1)
+	var tick func()
+	tick = func() { s.After(10, tick) }
+	s.At(0, tick)
+
+	now, err := s.RunGuarded(WatchdogConfig{MaxCycles: 1000})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if !strings.Contains(stall.Reason, "cycle budget") {
+		t.Fatalf("reason %q", stall.Reason)
+	}
+	if now > 1000 {
+		t.Fatalf("clock ran to %d past the budget", now)
+	}
+	if stall.Executed == 0 {
+		t.Fatal("no events executed before the budget trip")
+	}
+}
+
+// Same-cycle bursts below the budget are load, not livelock.
+func TestWatchdogToleratesBoundedSameCycleBursts(t *testing.T) {
+	s := New(1)
+	fired := 0
+	for cycle := Time(1); cycle <= 3; cycle++ {
+		for i := 0; i < 50; i++ {
+			s.At(cycle, func() { fired++ })
+		}
+	}
+	end, err := s.RunGuarded(WatchdogConfig{StallEvents: 60})
+	if err != nil {
+		t.Fatalf("bounded bursts tripped the watchdog: %v", err)
+	}
+	if end != 3 || fired != 150 {
+		t.Fatalf("end=%d fired=%d", end, fired)
+	}
+}
+
+// On a clean drain RunGuarded behaves exactly like Run.
+func TestRunGuardedMatchesRunOnCleanDrain(t *testing.T) {
+	build := func() (*Sim, *[]Time) {
+		s := New(1)
+		var trace []Time
+		var hop func()
+		hop = func() {
+			trace = append(trace, s.Now())
+			if s.Now() < 50 {
+				s.After(7, hop)
+			}
+		}
+		s.At(3, hop)
+		return s, &trace
+	}
+
+	ref, refTrace := build()
+	wantEnd := ref.Run()
+
+	s, trace := build()
+	end, err := s.RunGuarded(WatchdogConfig{MaxCycles: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != wantEnd {
+		t.Fatalf("end %d, Run ended at %d", end, wantEnd)
+	}
+	if len(*trace) != len(*refTrace) {
+		t.Fatalf("executed %d events, Run executed %d", len(*trace), len(*refTrace))
+	}
+	for i := range *trace {
+		if (*trace)[i] != (*refTrace)[i] {
+			t.Fatalf("event %d at cycle %d, Run at %d", i, (*trace)[i], (*refTrace)[i])
+		}
+	}
+}
+
+// The pending dump is bounded, sorted by firing order, and reports the
+// overflow count.
+func TestStallErrorPendingDumpCapped(t *testing.T) {
+	s := New(1)
+	var spin func()
+	spin = func() { s.At(s.Now(), spin) }
+	s.At(5, spin)
+	for i := 0; i < 40; i++ {
+		s.At(Time(100+i), func() {})
+	}
+	_, err := s.RunGuarded(WatchdogConfig{StallEvents: 10})
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(stall.Pending) != pendingDumpCap {
+		t.Fatalf("dump holds %d events, want cap %d", len(stall.Pending), pendingDumpCap)
+	}
+	for i := 1; i < len(stall.Pending); i++ {
+		a, b := stall.Pending[i-1], stall.Pending[i]
+		if a.At > b.At || (a.At == b.At && a.Seq > b.Seq) {
+			t.Fatalf("dump not in firing order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	if stall.QueueLen <= len(stall.Pending) {
+		t.Fatalf("queue length %d should exceed the dump", stall.QueueLen)
+	}
+	if !strings.Contains(err.Error(), "more]") {
+		t.Fatalf("error %q does not report the overflow", err)
+	}
+}

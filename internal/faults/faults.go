@@ -1,0 +1,316 @@
+// Package faults is the deterministic fault injector: a seeded model of a
+// degraded substrate — dead or lossy NoC links, disabled L3 banks, and
+// throttled DRAM channels — that the system assembles against when
+// sys.Config.Faults is non-empty. Everything the injector does is a pure
+// function of (spec, topology, seed): the same spec produces the same
+// degraded machine and the same per-message decisions in every run,
+// regardless of harness parallelism, so faulted experiments stay
+// byte-identical across -j values.
+//
+// The interesting consequence for the paper's argument is the dead-bank
+// remap: disabling a bank rehomes its cache lines onto the survivors
+// (memsim.Space applies the remap inside BankOfPhys), so the IOT/affinity
+// layer — and therefore every Affinity Alloc placement decision — observes
+// the degraded bank map rather than the nominal one.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LinkFault degrades one directed mesh link between adjacent tiles
+// (identified by bank numbers). Dead removes the link entirely, forcing
+// X-Y routes that crossed it onto detours; Drop is a per-message flit-drop
+// probability in [0,1) paid as bounded retransmits.
+type LinkFault struct {
+	From, To int
+	Drop     float64
+	Dead     bool
+}
+
+// DRAMFault throttles one DRAM channel: LatencyX multiplies the access
+// latency (>= 1), and DutyOn/DutyPeriod impose a duty-cycle blackout —
+// the channel serves only during the first DutyOn cycles of every
+// DutyPeriod-cycle window.
+type DRAMFault struct {
+	Chan       int
+	LatencyX   float64
+	DutyOn     uint64
+	DutyPeriod uint64
+}
+
+// Spec is the declarative fault configuration carried in sys.Config. The
+// zero value injects nothing. Specs parse from the -faults flag grammar
+// (see Parse) and validate against a concrete topology when the injector
+// is built.
+type Spec struct {
+	// Seed drives every randomized decision (auto-picked victims, drop
+	// draws). Zero selects seed 1 so an unseeded spec is still
+	// deterministic.
+	Seed int64
+	// DeadBanks lists explicitly disabled L3 banks.
+	DeadBanks []int
+	// NDeadBanks additionally disables this many auto-picked banks.
+	NDeadBanks int
+	// NDeadLinks kills this many auto-picked links (connectivity
+	// permitting).
+	NDeadLinks int
+	// Links lists explicit per-link faults.
+	Links []LinkFault
+	// DRAM lists per-channel throttles.
+	DRAM []DRAMFault
+}
+
+// Empty reports whether the spec injects nothing.
+func (s Spec) Empty() bool {
+	return len(s.DeadBanks) == 0 && s.NDeadBanks == 0 && s.NDeadLinks == 0 &&
+		len(s.Links) == 0 && len(s.DRAM) == 0
+}
+
+// seed returns the effective RNG seed.
+func (s Spec) seed() int64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+// Check validates the spec's topology-dependent fields against a mesh of
+// banks tiles and channels DRAM channels, without building an injector —
+// the cheap pre-assembly validation sys.Config.Validate runs. Adjacency
+// and connectivity are checked at injector construction, which knows the
+// mesh geometry.
+func (s Spec) Check(banks, channels int) error {
+	seen := make(map[int]bool, len(s.DeadBanks))
+	for _, b := range s.DeadBanks {
+		if b < 0 || b >= banks {
+			return fmt.Errorf("faults: dead bank %d out of range [0,%d)", b, banks)
+		}
+		if seen[b] {
+			return fmt.Errorf("faults: bank %d listed dead twice", b)
+		}
+		seen[b] = true
+	}
+	if s.NDeadBanks < 0 || s.NDeadLinks < 0 {
+		return fmt.Errorf("faults: negative auto-pick count (dead-banks=%d, dead-links=%d)", s.NDeadBanks, s.NDeadLinks)
+	}
+	if dead := len(s.DeadBanks) + s.NDeadBanks; dead >= banks {
+		return fmt.Errorf("faults: %d dead banks leaves no survivor of %d", dead, banks)
+	}
+	for _, l := range s.Links {
+		if l.From < 0 || l.From >= banks || l.To < 0 || l.To >= banks {
+			return fmt.Errorf("faults: link %d>%d endpoint out of range [0,%d)", l.From, l.To, banks)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("faults: link %d>%d is a self-loop", l.From, l.To)
+		}
+		if l.Drop < 0 || l.Drop >= 1 {
+			return fmt.Errorf("faults: link %d>%d drop probability %g outside [0,1)", l.From, l.To, l.Drop)
+		}
+		if !l.Dead && l.Drop == 0 {
+			return fmt.Errorf("faults: link %d>%d has neither dead nor drop", l.From, l.To)
+		}
+	}
+	for _, d := range s.DRAM {
+		if d.Chan < 0 || (channels > 0 && d.Chan >= channels) {
+			return fmt.Errorf("faults: DRAM channel %d out of range [0,%d)", d.Chan, channels)
+		}
+		if d.LatencyX != 0 && d.LatencyX < 1 {
+			return fmt.Errorf("faults: DRAM channel %d latency multiplier %g below 1", d.Chan, d.LatencyX)
+		}
+		if (d.DutyOn == 0) != (d.DutyPeriod == 0) || d.DutyOn > d.DutyPeriod {
+			return fmt.Errorf("faults: DRAM channel %d duty cycle %d/%d malformed (want 0 < on <= period)", d.Chan, d.DutyOn, d.DutyPeriod)
+		}
+		if d.LatencyX == 0 && d.DutyPeriod == 0 {
+			return fmt.Errorf("faults: DRAM channel %d fault has no effect", d.Chan)
+		}
+	}
+	return nil
+}
+
+// Parse reads the -faults flag grammar: comma-separated clauses, each one
+// of
+//
+//	seed=N                 RNG seed for auto-picks and drop draws
+//	dead-bank=B            disable L3 bank B (repeatable)
+//	dead-banks=N           disable N auto-picked banks
+//	dead-link=A>B          kill the directed link from tile A to adjacent tile B
+//	dead-links=N           kill N auto-picked links (keeping the mesh connected)
+//	drop-link=A>B:P        drop flits on link A>B with probability P in [0,1)
+//	dram-slow=C:X          multiply channel C's access latency by X (>= 1)
+//	dram-blackout=C:ON/PER channel C serves only ON of every PER cycles
+//
+// An empty string parses to the empty spec.
+func Parse(v string) (Spec, error) {
+	var s Spec
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return s, nil
+	}
+	dram := make(map[int]*DRAMFault)
+	for _, clause := range strings.Split(v, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faults: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: seed %q: %v", val, err)
+			}
+			s.Seed = n
+		case "dead-bank":
+			b, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: dead-bank %q: %v", val, err)
+			}
+			s.DeadBanks = append(s.DeadBanks, b)
+		case "dead-banks":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: dead-banks %q: %v", val, err)
+			}
+			s.NDeadBanks = n
+		case "dead-links":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: dead-links %q: %v", val, err)
+			}
+			s.NDeadLinks = n
+		case "dead-link":
+			from, to, err := parseLink(val)
+			if err != nil {
+				return Spec{}, err
+			}
+			s.Links = append(s.Links, LinkFault{From: from, To: to, Dead: true})
+		case "drop-link":
+			ep, pStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return Spec{}, fmt.Errorf("faults: drop-link %q: want A>B:P", val)
+			}
+			from, to, err := parseLink(ep)
+			if err != nil {
+				return Spec{}, err
+			}
+			p, err := strconv.ParseFloat(pStr, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: drop-link probability %q: %v", pStr, err)
+			}
+			s.Links = append(s.Links, LinkFault{From: from, To: to, Drop: p})
+		case "dram-slow":
+			cStr, xStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return Spec{}, fmt.Errorf("faults: dram-slow %q: want C:X", val)
+			}
+			c, err := strconv.Atoi(cStr)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: dram-slow channel %q: %v", cStr, err)
+			}
+			x, err := strconv.ParseFloat(xStr, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: dram-slow multiplier %q: %v", xStr, err)
+			}
+			dramFaultFor(dram, &s, c).LatencyX = x
+		case "dram-blackout":
+			cStr, duty, ok := strings.Cut(val, ":")
+			if !ok {
+				return Spec{}, fmt.Errorf("faults: dram-blackout %q: want C:ON/PERIOD", val)
+			}
+			c, err := strconv.Atoi(cStr)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: dram-blackout channel %q: %v", cStr, err)
+			}
+			onStr, perStr, ok := strings.Cut(duty, "/")
+			if !ok {
+				return Spec{}, fmt.Errorf("faults: dram-blackout duty %q: want ON/PERIOD", duty)
+			}
+			on, err := strconv.ParseUint(onStr, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: dram-blackout on %q: %v", onStr, err)
+			}
+			per, err := strconv.ParseUint(perStr, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: dram-blackout period %q: %v", perStr, err)
+			}
+			f := dramFaultFor(dram, &s, c)
+			f.DutyOn, f.DutyPeriod = on, per
+		default:
+			return Spec{}, fmt.Errorf("faults: unknown clause %q", key)
+		}
+	}
+	return s, nil
+}
+
+// dramFaultFor returns (creating if needed) the spec's fault record for a
+// channel, so dram-slow and dram-blackout clauses for one channel merge.
+func dramFaultFor(idx map[int]*DRAMFault, s *Spec, ch int) *DRAMFault {
+	if f, ok := idx[ch]; ok {
+		return f
+	}
+	s.DRAM = append(s.DRAM, DRAMFault{Chan: ch})
+	f := &s.DRAM[len(s.DRAM)-1]
+	idx[ch] = f
+	return f
+}
+
+// parseLink reads "A>B" into endpoint bank numbers.
+func parseLink(v string) (from, to int, err error) {
+	a, b, ok := strings.Cut(v, ">")
+	if !ok {
+		return 0, 0, fmt.Errorf("faults: link %q: want A>B", v)
+	}
+	if from, err = strconv.Atoi(a); err != nil {
+		return 0, 0, fmt.Errorf("faults: link endpoint %q: %v", a, err)
+	}
+	if to, err = strconv.Atoi(b); err != nil {
+		return 0, 0, fmt.Errorf("faults: link endpoint %q: %v", b, err)
+	}
+	return from, to, nil
+}
+
+// String renders the spec back in the flag grammar (clauses in a fixed
+// order), for labels and reports.
+func (s Spec) String() string {
+	if s.Empty() {
+		return "none"
+	}
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	banks := append([]int(nil), s.DeadBanks...)
+	sort.Ints(banks)
+	for _, b := range banks {
+		parts = append(parts, fmt.Sprintf("dead-bank=%d", b))
+	}
+	if s.NDeadBanks > 0 {
+		parts = append(parts, fmt.Sprintf("dead-banks=%d", s.NDeadBanks))
+	}
+	if s.NDeadLinks > 0 {
+		parts = append(parts, fmt.Sprintf("dead-links=%d", s.NDeadLinks))
+	}
+	for _, l := range s.Links {
+		if l.Dead {
+			parts = append(parts, fmt.Sprintf("dead-link=%d>%d", l.From, l.To))
+		} else {
+			parts = append(parts, fmt.Sprintf("drop-link=%d>%d:%g", l.From, l.To, l.Drop))
+		}
+	}
+	for _, d := range s.DRAM {
+		if d.LatencyX != 0 {
+			parts = append(parts, fmt.Sprintf("dram-slow=%d:%g", d.Chan, d.LatencyX))
+		}
+		if d.DutyPeriod != 0 {
+			parts = append(parts, fmt.Sprintf("dram-blackout=%d:%d/%d", d.Chan, d.DutyOn, d.DutyPeriod))
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEmpty(t *testing.T) {
+	s, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Empty() {
+		t.Fatalf("empty string parsed to non-empty spec %+v", s)
+	}
+	if got := s.String(); got != "none" {
+		t.Fatalf("empty spec renders %q, want none", got)
+	}
+}
+
+func TestParseFullGrammar(t *testing.T) {
+	in := "seed=7,dead-bank=3,dead-banks=2,dead-links=4,dead-link=1>2,drop-link=5>6:0.25,dram-slow=0:2.5,dram-blackout=1:10/100"
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 || s.NDeadBanks != 2 || s.NDeadLinks != 4 {
+		t.Fatalf("scalar clauses: %+v", s)
+	}
+	if len(s.DeadBanks) != 1 || s.DeadBanks[0] != 3 {
+		t.Fatalf("dead banks %v", s.DeadBanks)
+	}
+	if len(s.Links) != 2 || !s.Links[0].Dead || s.Links[1].Drop != 0.25 {
+		t.Fatalf("links %+v", s.Links)
+	}
+	if len(s.DRAM) != 2 {
+		t.Fatalf("dram %+v", s.DRAM)
+	}
+	if s.DRAM[0].LatencyX != 2.5 || s.DRAM[1].DutyOn != 10 || s.DRAM[1].DutyPeriod != 100 {
+		t.Fatalf("dram %+v", s.DRAM)
+	}
+}
+
+// A rendered spec must parse back to an equivalent spec (String is the
+// label/report form of the grammar).
+func TestStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"seed=7,dead-bank=3,dead-banks=2,dead-links=4",
+		"dead-link=1>2,drop-link=5>6:0.25",
+		"dram-slow=0:2.5,dram-blackout=1:10/100",
+		"dram-slow=2:3,dram-blackout=2:5/50", // merged per-channel clauses
+	} {
+		s1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", s1.String(), err)
+		}
+		if s1.String() != s2.String() {
+			t.Fatalf("round trip %q -> %q -> %q", in, s1.String(), s2.String())
+		}
+	}
+}
+
+// dram-slow and dram-blackout clauses for one channel must merge into a
+// single DRAMFault record.
+func TestParseMergesDRAMClauses(t *testing.T) {
+	s, err := Parse("dram-slow=1:2,dram-blackout=1:10/100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.DRAM) != 1 {
+		t.Fatalf("want one merged record, got %+v", s.DRAM)
+	}
+	d := s.DRAM[0]
+	if d.Chan != 1 || d.LatencyX != 2 || d.DutyOn != 10 || d.DutyPeriod != 100 {
+		t.Fatalf("merged record %+v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"bogus",
+		"unknown=1",
+		"seed=x",
+		"dead-bank=x",
+		"dead-link=12",
+		"dead-link=a>b",
+		"drop-link=1>2",
+		"drop-link=1>2:x",
+		"dram-slow=0",
+		"dram-slow=x:2",
+		"dram-blackout=0:10",
+		"dram-blackout=0:x/y",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	const banks, chans = 16, 8
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"bank out of range", Spec{DeadBanks: []int{16}}, "out of range"},
+		{"bank negative", Spec{DeadBanks: []int{-1}}, "out of range"},
+		{"bank twice", Spec{DeadBanks: []int{3, 3}}, "twice"},
+		{"negative auto count", Spec{NDeadBanks: -1}, "negative"},
+		{"no survivor", Spec{NDeadBanks: 16}, "no survivor"},
+		{"explicit plus auto no survivor", Spec{DeadBanks: []int{0}, NDeadBanks: 15}, "no survivor"},
+		{"link endpoint out of range", Spec{Links: []LinkFault{{From: 0, To: 99, Dead: true}}}, "out of range"},
+		{"link self loop", Spec{Links: []LinkFault{{From: 2, To: 2, Dead: true}}}, "self-loop"},
+		{"drop probability 1", Spec{Links: []LinkFault{{From: 0, To: 1, Drop: 1}}}, "outside [0,1)"},
+		{"link no effect", Spec{Links: []LinkFault{{From: 0, To: 1}}}, "neither dead nor drop"},
+		{"dram channel out of range", Spec{DRAM: []DRAMFault{{Chan: 8, LatencyX: 2}}}, "out of range"},
+		{"dram latency below 1", Spec{DRAM: []DRAMFault{{Chan: 0, LatencyX: 0.5}}}, "below 1"},
+		{"dram duty on only", Spec{DRAM: []DRAMFault{{Chan: 0, DutyOn: 10}}}, "malformed"},
+		{"dram duty on past period", Spec{DRAM: []DRAMFault{{Chan: 0, DutyOn: 20, DutyPeriod: 10}}}, "malformed"},
+		{"dram no effect", Spec{DRAM: []DRAMFault{{Chan: 0}}}, "no effect"},
+	}
+	for _, c := range cases {
+		err := c.spec.Check(banks, chans)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	if err := (Spec{DeadBanks: []int{3}, NDeadLinks: 2}).Check(banks, chans); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	// channels == 0 skips only the DRAM upper bound (the mesh-free
+	// validation path in sys.Config.Validate).
+	if err := (Spec{DRAM: []DRAMFault{{Chan: 99, LatencyX: 2}}}).Check(banks, 0); err != nil {
+		t.Errorf("channels=0 should skip the upper bound: %v", err)
+	}
+}

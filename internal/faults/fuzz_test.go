@@ -1,0 +1,40 @@
+package faults
+
+import "testing"
+
+// FuzzParse throws arbitrary flag strings at the -faults grammar. The
+// parser must never panic, and a spec it accepts must render (String) to
+// a string that re-parses to the same rendering — the property labels and
+// reports rely on.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("seed=7,dead-bank=3,dead-banks=2,dead-links=4")
+	f.Add("dead-link=1>2,drop-link=5>6:0.25")
+	f.Add("dram-slow=0:2.5,dram-blackout=1:10/100")
+	f.Add("dead-bank=3,dead-bank=3")
+	f.Add("seed=,dead-link=>")
+	f.Add(",,,")
+	f.Add("dead-banks=-1")
+	f.Add("drop-link=1>2:1e308")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return
+		}
+		// Only well-formed specs need the round-trip property; Parse is
+		// syntax-only (Check owns range validation), so e.g. a negative
+		// auto-pick count parses but renders as if absent.
+		if s.Check(1<<30, 1<<30) != nil {
+			return
+		}
+		rendered := s.String()
+		s2, err := Parse(rendered)
+		if err != nil && rendered != "none" {
+			t.Fatalf("rendering %q of accepted spec does not re-parse: %v", rendered, err)
+		}
+		if err == nil && s2.String() != rendered {
+			t.Fatalf("String is not a fixed point: %q -> %q", rendered, s2.String())
+		}
+	})
+}

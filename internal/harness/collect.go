@@ -110,6 +110,7 @@ func (a *Artifacts) Write(cells []CollectedCell) error {
 	}
 	if a.TraceOut != nil {
 		var spans []telemetry.Span
+		var instants []telemetry.Instant
 		threads := make([]string, len(cells))
 		for tid, c := range cells {
 			threads[tid] = c.Label
@@ -117,13 +118,17 @@ func (a *Artifacts) Write(cells []CollectedCell) error {
 				sp.TID = tid
 				spans = append(spans, sp)
 			}
+			for _, in := range c.Snap.Instants {
+				in.TID = tid
+				instants = append(instants, in)
+			}
 		}
 		meta := map[string]string{
 			"experiment": a.Experiment,
 			"scale":      a.Scale.String(),
 			"seed":       fmt.Sprintf("%d", a.Seed),
 		}
-		if err := telemetry.WriteTrace(a.TraceOut, spans, threads, meta); err != nil {
+		if err := telemetry.WriteTrace(a.TraceOut, spans, instants, threads, meta); err != nil {
 			return fmt.Errorf("harness: writing trace: %w", err)
 		}
 	}

@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"affinityalloc/internal/core"
+	"affinityalloc/internal/faults"
 	"affinityalloc/internal/graph"
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/sys"
@@ -70,6 +72,22 @@ type Options struct {
 	// Collect, when non-nil, records each cell's telemetry snapshot in
 	// deterministic harness order (see Collector).
 	Collect *Collector
+
+	// Faults, when non-empty, degrades every cell's simulated machine
+	// (dead banks/links, throttled DRAM; see faults.Spec). Results stay
+	// deterministic for any Jobs value: each cell's system owns its own
+	// injector.
+	Faults faults.Spec
+	// CellTimeout bounds one cell's wall-clock run; an overrunning cell
+	// fails with a timeout error while its siblings keep running (0: no
+	// timeout).
+	CellTimeout time.Duration
+	// CellRetries re-runs a cell whose error is marked ErrTransient up to
+	// this many extra times before reporting it failed.
+	CellRetries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// attempt (0: retry immediately).
+	RetryBackoff time.Duration
 
 	// limit, when set, is a shared pool bounding concurrent cells across
 	// experiments (see ShareWorkers).
@@ -137,11 +155,13 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// baseConfig is the Table-2 system with a given irregular policy.
+// baseConfig is the Table-2 system with a given irregular policy (and the
+// option's fault spec, when one is set).
 func baseConfig(opt Options, pcfg core.PolicyConfig) sys.Config {
 	cfg := sys.DefaultConfig()
 	cfg.Seed = opt.Seed
 	cfg.Policy = pcfg
+	cfg.Faults = opt.Faults
 	return cfg
 }
 

@@ -100,22 +100,36 @@ func (o Options) forEach(n int, fn func(i int) error) error {
 // set, and its telemetry snapshot lands in opt.Collect at a slot
 // reserved before the cells launch — both outputs are deterministic for
 // any worker count.
+//
+// Cells run guarded (see Options.runCell): a panicking, timed-out or
+// erroring cell fails alone while the rest of the batch completes. When
+// any cell fails the partial results are returned alongside a
+// *CellFailures error listing every failure in input order; failed cells'
+// result slots are zero-valued.
 func runCells(opt Options, cells []cell) ([]workloads.Result, error) {
 	out := make([]workloads.Result, len(cells))
+	cellErrs := make([]error, len(cells))
 	slot := opt.Collect.reserve(len(cells))
-	err := opt.forEach(len(cells), func(i int) error {
+	_ = opt.forEach(len(cells), func(i int) error {
 		start := time.Now()
-		r, err := cells[i].run()
+		r, err := opt.runCell(cells[i])
 		if err != nil {
-			return fmt.Errorf("%s: %w", cells[i].label, err)
+			cellErrs[i] = err
+			return err
 		}
 		out[i] = r
 		opt.Timing.observe(cells[i].label, time.Since(start), r.Metrics.Cycles)
 		opt.Collect.put(slot+i, cells[i].label, r.Metrics.Detail)
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	var fails []CellFailure
+	for i, err := range cellErrs {
+		if err != nil {
+			fails = append(fails, CellFailure{Index: i, Label: cells[i].label, Err: err})
+		}
+	}
+	if len(fails) > 0 {
+		return out, &CellFailures{Cells: fails}
 	}
 	return out, nil
 }

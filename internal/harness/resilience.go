@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"affinityalloc/internal/workloads"
+)
+
+// ErrTransient marks a cell failure worth retrying: wrap (or join) it into
+// an error returned from a cell to opt into the Options.CellRetries
+// retry-with-backoff path. Panics and timeouts are never treated as
+// transient — a crashed or wedged simulation will crash or wedge again.
+var ErrTransient = errors.New("transient failure")
+
+// CellFailure is one failed cell of a batch: its input index, harness
+// label, and final error (after any retries).
+type CellFailure struct {
+	Index int
+	Label string
+	Err   error
+}
+
+// CellFailures aggregates every failed cell of a batch, in input order.
+// runCells returns it alongside the partial results, so callers that can
+// tolerate holes (the fault sweep, RunAll's report) keep the successful
+// cells while callers that need the full batch just propagate the error.
+type CellFailures struct {
+	Cells []CellFailure
+}
+
+// failureListCap bounds how many per-cell messages Error renders.
+const failureListCap = 8
+
+func (e *CellFailures) Error() string {
+	var b strings.Builder
+	if len(e.Cells) > 1 {
+		fmt.Fprintf(&b, "%d cells failed: ", len(e.Cells))
+	}
+	for i, c := range e.Cells {
+		if i == failureListCap {
+			fmt.Fprintf(&b, "; +%d more", len(e.Cells)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: %v", c.Label, c.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-cell errors to errors.Is/As.
+func (e *CellFailures) Unwrap() []error {
+	errs := make([]error, len(e.Cells))
+	for i, c := range e.Cells {
+		errs[i] = c.Err
+	}
+	return errs
+}
+
+// Failed returns the failed cells' labels in input order.
+func (e *CellFailures) Failed() []string {
+	out := make([]string, len(e.Cells))
+	for i, c := range e.Cells {
+		out[i] = c.Label
+	}
+	return out
+}
+
+// runCell executes one cell under the option's resilience policy: panics
+// inside the simulation become this cell's error (sibling cells keep
+// running), CellTimeout bounds the wall-clock run, and failures marked
+// ErrTransient retry up to CellRetries times with doubling backoff.
+func (o Options) runCell(c cell) (workloads.Result, error) {
+	var r workloads.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		r, err = o.runCellOnce(c)
+		if err == nil || attempt >= o.CellRetries || !errors.Is(err, ErrTransient) {
+			return r, err
+		}
+		if o.RetryBackoff > 0 {
+			time.Sleep(o.RetryBackoff << attempt)
+		}
+	}
+}
+
+// runCellOnce is one guarded attempt: the cell body runs behind a panic
+// shield and, when CellTimeout is set, under a wall-clock deadline. A
+// timed-out cell's goroutine is abandoned (simulations have no
+// cancellation points); its result is discarded when it eventually
+// finishes.
+func (o Options) runCellOnce(c cell) (workloads.Result, error) {
+	if o.CellTimeout <= 0 {
+		return c.runRecovered()
+	}
+	type outcome struct {
+		r   workloads.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := c.runRecovered()
+		ch <- outcome{r, err}
+	}()
+	timer := time.NewTimer(o.CellTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.r, out.err
+	case <-timer.C:
+		return workloads.Result{}, fmt.Errorf("cell exceeded the %v wall-clock timeout", o.CellTimeout)
+	}
+}
+
+// runRecovered runs the cell body converting panics — typed data-plane
+// access failures (memsim.AccessError) and programmer-error invariants
+// alike — into errors, so one crashing simulation cannot take down the
+// whole harness process.
+func (c cell) runRecovered() (r workloads.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				err = fmt.Errorf("cell panicked: %w", e)
+			} else {
+				err = fmt.Errorf("cell panicked: %v", rec)
+			}
+		}
+	}()
+	return c.run()
+}

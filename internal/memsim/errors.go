@@ -1,0 +1,29 @@
+package memsim
+
+import "fmt"
+
+// AccessError describes a data-plane access that violated the simulated
+// address map — an unmapped address or a read/write past a region's
+// extent. The word-granular accessors (ReadU64 and friends) have no error
+// return, mirroring the load/store interface real workload code runs on,
+// so they raise the failure as a typed panic carrying this value; the
+// harness recovers it at the cell boundary and converts it into that
+// cell's error, leaving sibling cells running.
+type AccessError struct {
+	Op    string // "read" or "write"
+	VA    Addr
+	Bytes int
+	Err   error // the underlying mapping failure
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("memsim: %s of %d bytes at %#x failed: %v", e.Op, e.Bytes, uint64(e.VA), e.Err)
+}
+
+// Unwrap exposes the underlying mapping failure to errors.Is/As.
+func (e *AccessError) Unwrap() error { return e.Err }
+
+// accessPanic raises a typed data-plane access failure.
+func accessPanic(op string, va Addr, n int, err error) {
+	panic(&AccessError{Op: op, VA: va, Bytes: n, Err: err})
+}

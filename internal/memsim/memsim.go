@@ -161,6 +161,11 @@ type Config struct {
 	// 192B), removing element-padding overheads at the cost of a
 	// division in the bank lookup.
 	AllowNPOT bool
+	// DeadBanks lists disabled L3 banks (fault injection): lines whose
+	// nominal home bank is dead are deterministically rehomed across the
+	// survivors inside BankOfPhys, so the IOT/affinity layer — and every
+	// placement decision built on it — observes the degraded bank map.
+	DeadBanks []int
 }
 
 // DefaultConfig mirrors Table 2 for a 64-bank system.
@@ -206,10 +211,17 @@ type Space struct {
 	physNext  PAddr
 	rng       *rand.Rand
 
+	// deadBank and survivors resolve Config.DeadBanks; both stay nil for
+	// a fault-free space so the bank lookup fast path is untouched.
+	deadBank  []bool
+	survivors []int
+
 	// PageFaults counts demand mappings of heap pages.
 	PageFaults uint64
 	// PoolExpansions counts runtime requests for more pool space.
 	PoolExpansions uint64
+	// RemappedAccesses counts bank lookups rehomed off dead banks.
+	RemappedAccesses uint64
 }
 
 // NewSpace builds an address space per cfg. Pools are reserved lazily: the
@@ -225,7 +237,7 @@ func NewSpace(cfg Config) (*Space, error) {
 	if cfg.IOTCapacity < NumPools {
 		return nil, fmt.Errorf("memsim: IOT capacity %d cannot hold %d pools", cfg.IOTCapacity, NumPools)
 	}
-	return &Space{
+	s := &Space{
 		cfg:         cfg,
 		poolByIl:    make(map[int]*Pool),
 		iot:         NewIOT(cfg.IOTCapacity),
@@ -233,14 +245,35 @@ func NewSpace(cfg Config) (*Space, error) {
 		physTaken:   make(map[PAddr]bool),
 		physNext:    PageSize, // keep physical page 0 unused
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	if len(cfg.DeadBanks) > 0 {
+		s.deadBank = make([]bool, cfg.Banks)
+		for _, b := range cfg.DeadBanks {
+			if b < 0 || b >= cfg.Banks {
+				return nil, fmt.Errorf("memsim: dead bank %d out of range [0,%d)", b, cfg.Banks)
+			}
+			s.deadBank[b] = true
+		}
+		for b := 0; b < cfg.Banks; b++ {
+			if !s.deadBank[b] {
+				s.survivors = append(s.survivors, b)
+			}
+		}
+		if len(s.survivors) == 0 {
+			return nil, fmt.Errorf("memsim: all %d banks dead", cfg.Banks)
+		}
+	}
+	return s, nil
 }
 
 // MustSpace is NewSpace that panics on error, for static configurations.
+// The panic names its invariant: callers reach for MustSpace only with
+// configs they constructed themselves, so a failure is a programming
+// error, not an input error.
 func MustSpace(cfg Config) *Space {
 	s, err := NewSpace(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("memsim: MustSpace on an invalid static config (programmer error — use NewSpace for untrusted configs): %v", err))
 	}
 	return s
 }
@@ -426,20 +459,46 @@ func (s *Space) Bank(va Addr) (int, error) {
 }
 
 // BankOfPhys maps a physical address to its L3 bank, consulting the IOT
-// exactly as an L2/L3 cache controller would.
+// exactly as an L2/L3 cache controller would. Lines nominally homed on a
+// dead bank are rehomed deterministically across the survivors (spread by
+// line number, so one dead bank's sets scatter rather than pile onto a
+// single neighbor) — the remap every placement decision observes.
 func (s *Space) BankOfPhys(pa PAddr) int {
+	var b int
 	if e, ok := s.iot.Lookup(pa); ok {
-		return int(((pa - e.Start) / PAddr(e.Interleave)) % PAddr(s.cfg.Banks))
+		b = int(((pa - e.Start) / PAddr(e.Interleave)) % PAddr(s.cfg.Banks))
+	} else {
+		b = int((pa / PAddr(s.cfg.DefaultInterleave)) % PAddr(s.cfg.Banks))
 	}
-	return int((pa / PAddr(s.cfg.DefaultInterleave)) % PAddr(s.cfg.Banks))
+	if s.deadBank != nil && s.deadBank[b] {
+		b = s.survivors[int((pa/LineSize)%PAddr(len(s.survivors)))]
+		s.RemappedAccesses++
+	}
+	return b
+}
+
+// BankAlive reports whether a bank is alive (always true without fault
+// injection).
+func (s *Space) BankAlive(b int) bool {
+	return s.deadBank == nil || !s.deadBank[b]
+}
+
+// AliveBanks returns the surviving banks in ascending order, or nil when
+// every bank is alive.
+func (s *Space) AliveBanks() []int {
+	if s.deadBank == nil {
+		return nil
+	}
+	return append([]int(nil), s.survivors...)
 }
 
 // MustBank is Bank that panics on unmapped addresses; placement code uses
-// it only on addresses it has just allocated.
+// it only on addresses it has just allocated, so an unmapped address here
+// is a broken allocator, and the panic names that invariant.
 func (s *Space) MustBank(va Addr) int {
 	b, err := s.Bank(va)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("memsim: MustBank on an address the allocator never produced (programmer error — placement code only queries its own allocations): %v", err))
 	}
 	return b
 }
@@ -477,38 +536,43 @@ func (s *Space) backing(va Addr, n int) ([]byte, error) {
 	return nil, fmt.Errorf("memsim: access to unmapped address %#x", uint64(va))
 }
 
-// ReadU64 loads the 8-byte little-endian word at va.
+// ReadU64 loads the 8-byte little-endian word at va. An unmapped access
+// raises a typed *AccessError panic the harness converts into a per-cell
+// error (see AccessError).
 func (s *Space) ReadU64(va Addr) uint64 {
 	b, err := s.backing(va, 8)
 	if err != nil {
-		panic(err)
+		accessPanic("read", va, 8, err)
 	}
 	return binary.LittleEndian.Uint64(b)
 }
 
-// WriteU64 stores an 8-byte little-endian word at va.
+// WriteU64 stores an 8-byte little-endian word at va; unmapped accesses
+// raise *AccessError (see ReadU64).
 func (s *Space) WriteU64(va Addr, v uint64) {
 	b, err := s.backing(va, 8)
 	if err != nil {
-		panic(err)
+		accessPanic("write", va, 8, err)
 	}
 	binary.LittleEndian.PutUint64(b, v)
 }
 
-// ReadU32 loads the 4-byte little-endian word at va.
+// ReadU32 loads the 4-byte little-endian word at va; unmapped accesses
+// raise *AccessError (see ReadU64).
 func (s *Space) ReadU32(va Addr) uint32 {
 	b, err := s.backing(va, 4)
 	if err != nil {
-		panic(err)
+		accessPanic("read", va, 4, err)
 	}
 	return binary.LittleEndian.Uint32(b)
 }
 
-// WriteU32 stores a 4-byte little-endian word at va.
+// WriteU32 stores a 4-byte little-endian word at va; unmapped accesses
+// raise *AccessError (see ReadU64).
 func (s *Space) WriteU32(va Addr, v uint32) {
 	b, err := s.backing(va, 4)
 	if err != nil {
-		panic(err)
+		accessPanic("write", va, 4, err)
 	}
 	binary.LittleEndian.PutUint32(b, v)
 }

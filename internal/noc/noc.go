@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"affinityalloc/internal/engine"
+	"affinityalloc/internal/faults"
 	"affinityalloc/internal/telemetry"
 	"affinityalloc/internal/topo"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	LocalCycles   engine.Time // latency of a same-tile "message"
 	HeaderBytes   int         // per-message header added to payload
 	ModelConflict bool        // model per-link serialization/contention
+	// Faults, when set, degrades links: dead links force detour routes
+	// and lossy links pay retransmits. A pointer keeps Config comparable
+	// for the all-zero default check.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns Table 2's NoC parameters.
@@ -94,8 +99,15 @@ type Network struct {
 // explicit settings — a custom PerHopCycles or ModelConflict=false is
 // preserved rather than silently discarded.
 func (cfg Config) withDefaults() Config {
-	if cfg == (Config{}) {
-		return DefaultConfig()
+	// The all-zero check ignores Faults: attaching an injector to an
+	// otherwise-default config must not demote it to the field-by-field
+	// path (which would lose ModelConflict's default of true).
+	bare := cfg
+	bare.Faults = nil
+	if bare == (Config{}) {
+		def := DefaultConfig()
+		def.Faults = cfg.Faults
+		return def
 	}
 	def := DefaultConfig()
 	if cfg.LinkBytes <= 0 {
@@ -156,19 +168,41 @@ func (n *Network) Send(now engine.Time, from, to int, class Class, payloadBytes 
 	}
 	hops := n.mesh.Hops(from, to)
 	st.Flits += uint64(flits)
+
+	// Fault path: dead links force detours off the X-Y route, lossy links
+	// pay retransmits. Gated so clean configs (and faulted configs whose
+	// spec leaves the links alone) keep the historical fast path exactly.
+	inj := n.cfg.Faults
+	degraded := inj != nil && inj.DegradedLinks()
+	if degraded {
+		var detoured bool
+		n.routeCache, detoured = inj.Route(n.routeCache[:0], from, to)
+		if detoured {
+			inj.NoteDetour(now, len(n.routeCache)-hops)
+			hops = len(n.routeCache)
+		}
+	} else if n.cfg.ModelConflict {
+		n.routeCache = n.mesh.Route(n.routeCache[:0], from, to)
+	}
 	st.FlitHops += uint64(flits) * uint64(hops)
 
 	if !n.cfg.ModelConflict {
 		return now + engine.Time(hops)*n.cfg.PerHopCycles + engine.Time(flits-1)
 	}
 
-	n.routeCache = n.mesh.Route(n.routeCache[:0], from, to)
 	arrive := now
 	for _, l := range n.routeCache {
 		idx := n.mesh.LinkIndex(l)
-		depart := n.linkSrv[idx].Reserve(arrive, flits)
-		n.linkFlits[idx] += uint64(flits)
-		arrive = depart + n.cfg.PerHopCycles
+		units := flits
+		var retryDelay engine.Time
+		if degraded {
+			extra, delay := inj.LinkRetransmits(arrive, idx, flits)
+			units += extra
+			retryDelay = delay
+		}
+		depart := n.linkSrv[idx].Reserve(arrive, units)
+		n.linkFlits[idx] += uint64(units)
+		arrive = depart + n.cfg.PerHopCycles + retryDelay
 	}
 	return arrive + engine.Time(flits-1)
 }

@@ -85,6 +85,15 @@ type Engine struct {
 	bankRemoteOps []uint64
 	bankElements  []uint64
 
+	// redirect maps each bank to the one that actually hosts its SEL3
+	// work — the identity unless fault injection disabled banks, in which
+	// case dead banks point at their nearest survivor (see
+	// SetBankRedirect). Nil on a clean machine.
+	redirect []int
+	// FaultRedirects counts operations whose target bank was dead and was
+	// redirected to a survivor.
+	FaultRedirects uint64
+
 	atomicSampler AtomicSampler
 }
 
@@ -116,12 +125,32 @@ func (e *Engine) Mem() *cache.MemSystem { return e.mem }
 // SetAtomicSampler installs the Fig-14 observation hook.
 func (e *Engine) SetAtomicSampler(s AtomicSampler) { e.atomicSampler = s }
 
+// SetBankRedirect installs a bank-redirect table (len == banks): entry b
+// names the bank that serves SEL3 work targeted at b. The system installs
+// one when fault injection disables banks, pointing each dead bank at its
+// nearest survivor; workload code can then keep addressing the nominal
+// placement while the engine lands the work on live hardware.
+func (e *Engine) SetBankRedirect(redirect []int) { e.redirect = redirect }
+
+// bankFor resolves a nominal target bank through the redirect table,
+// counting redirections.
+func (e *Engine) bankFor(b int) int {
+	if e.redirect == nil {
+		return b
+	}
+	if r := e.redirect[b]; r != b {
+		e.FaultRedirects++
+		return r
+	}
+	return b
+}
+
 // Offload models SEcore sending a stream configuration packet from the
 // core's tile to the stream's first bank, returning when the stream may
 // begin.
 func (e *Engine) Offload(now engine.Time, coreTile, firstBank int) engine.Time {
 	e.StreamsConfigured++
-	return e.net.Send(now, coreTile, firstBank, noc.Offload, e.cfg.ConfigBytes)
+	return e.net.Send(now, coreTile, e.bankFor(firstBank), noc.Offload, e.cfg.ConfigBytes)
 }
 
 // Migrate models a stream moving its architectural state between banks,
@@ -129,6 +158,7 @@ func (e *Engine) Offload(now engine.Time, coreTile, firstBank int) engine.Time {
 // data-dependent streams (pointer chasing), whose next bank is unknown
 // until the previous element returns.
 func (e *Engine) Migrate(now engine.Time, from, to int) engine.Time {
+	from, to = e.bankFor(from), e.bankFor(to)
 	if from == to {
 		return now
 	}
@@ -140,6 +170,7 @@ func (e *Engine) Migrate(now engine.Time, from, to int) engine.Time {
 // is statically known: SEL3 configures the destination ahead of time, so
 // the move costs traffic but stays off the critical path.
 func (e *Engine) MigrateOverlapped(now engine.Time, from, to int) {
+	from, to = e.bankFor(from), e.bankFor(to)
 	if from == to {
 		return
 	}
@@ -149,7 +180,7 @@ func (e *Engine) MigrateOverlapped(now engine.Time, from, to int) {
 
 // Credit models the coarse-grained core->stream flow control message.
 func (e *Engine) Credit(now engine.Time, coreTile, bank int) engine.Time {
-	return e.net.Send(now, coreTile, bank, noc.Control, e.cfg.AckBytes)
+	return e.net.Send(now, coreTile, e.bankFor(bank), noc.Control, e.cfg.AckBytes)
 }
 
 // Compute schedules `elems` elements of outlined computation on a spare
@@ -160,6 +191,7 @@ func (e *Engine) Credit(now engine.Time, coreTile, bank int) engine.Time {
 // under load — a hot bank's computations queue, which is how load
 // imbalance hurts.
 func (e *Engine) Compute(now engine.Time, bank, elems int) engine.Time {
+	bank = e.bankFor(bank)
 	if elems <= 0 {
 		return now
 	}
@@ -198,6 +230,7 @@ func (e *Engine) RemoteOp(now engine.Time, fromBank int, va memsim.Addr, write, 
 // Forward models element data forwarded between dependent streams
 // (e.g. a load stream feeding a compute/store stream at another bank).
 func (e *Engine) Forward(now engine.Time, from, to int, bytes int) engine.Time {
+	from, to = e.bankFor(from), e.bankFor(to)
 	if from == to {
 		return now
 	}
@@ -213,6 +246,11 @@ func (e *Engine) PublishTelemetry(r *telemetry.Registry) {
 	r.Set("se_elements_computed", e.ElementsComputed)
 	r.SetSeries("se_bank_remote_ops", e.bankRemoteOps)
 	r.SetSeries("se_bank_elements", e.bankElements)
+	if e.redirect != nil {
+		// Published only on degraded machines, so clean runs' metrics
+		// documents carry no fault-related keys.
+		r.Set("se_fault_redirects", e.FaultRedirects)
+	}
 }
 
 // MaxComputeFree reports the latest compute schedule horizon — a

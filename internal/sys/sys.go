@@ -10,6 +10,7 @@ import (
 	"affinityalloc/internal/cpu"
 	"affinityalloc/internal/energy"
 	"affinityalloc/internal/engine"
+	"affinityalloc/internal/faults"
 	"affinityalloc/internal/memsim"
 	"affinityalloc/internal/noc"
 	"affinityalloc/internal/stream"
@@ -29,6 +30,11 @@ type Config struct {
 	Policy       core.PolicyConfig
 	Energy       energy.Params
 	Seed         int64
+	// Faults degrades the machine before assembly: dead L3 banks (their
+	// sets remap to survivors, which the allocation layer observes), dead
+	// or lossy NoC links, and throttled DRAM channels. The zero value
+	// injects nothing and leaves every fast path untouched.
+	Faults faults.Spec
 }
 
 // DefaultConfig mirrors Table 2: an 8x8 mesh of cores with 64 L3 banks.
@@ -66,6 +72,8 @@ type System struct {
 	Cores []*cpu.Core
 	SE    *stream.Engine
 	RT    *core.Runtime
+	// Faults is the resolved fault injector; nil on a clean machine.
+	Faults *faults.Injector
 
 	// spans are the sim-time phases recorded via MarkPhase.
 	spans []telemetry.Span
@@ -80,6 +88,20 @@ func New(cfg Config) (*System, error) {
 	mesh, err := topo.NewMesh(cfg.MeshW, cfg.MeshH, cfg.Numbering)
 	if err != nil {
 		return nil, err
+	}
+	// Resolve the fault spec against the real geometry before anything is
+	// assembled, so every component below builds against the degraded
+	// machine: the space remaps dead banks, the NoC routes around dead
+	// links, the memory system throttles faulted DRAM channels.
+	var inj *faults.Injector
+	if !cfg.Faults.Empty() {
+		inj, err = faults.New(cfg.Faults, mesh, len(mesh.MemControllers()))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Mem.DeadBanks = inj.DeadBankList()
+		cfg.NoC.Faults = inj
+		cfg.MemSys.Faults = inj
 	}
 	cfg.Mem.Banks = mesh.Banks()
 	cfg.Mem.Seed = cfg.Seed
@@ -102,20 +124,30 @@ func New(cfg Config) (*System, error) {
 		cores[i] = c
 	}
 	se := stream.NewEngine(mem, cfg.Stream)
+	if inj != nil && len(inj.DeadBankList()) > 0 {
+		// Dead banks host no SEL3 work: point each at its nearest
+		// survivor so nominal placements keep running.
+		redirect := make([]int, mesh.Banks())
+		for b := range redirect {
+			redirect[b] = inj.NearestAlive(b)
+		}
+		se.SetBankRedirect(redirect)
+	}
 	rt, err := core.New(space, mesh, cfg.Policy, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	return &System{
-		Cfg:   cfg,
-		Mesh:  mesh,
-		Space: space,
-		Net:   net,
-		Mem:   mem,
-		Coh:   coh,
-		Cores: cores,
-		SE:    se,
-		RT:    rt,
+		Cfg:    cfg,
+		Mesh:   mesh,
+		Space:  space,
+		Net:    net,
+		Mem:    mem,
+		Coh:    coh,
+		Cores:  cores,
+		SE:     se,
+		RT:     rt,
+		Faults: inj,
 	}, nil
 }
 
@@ -217,6 +249,12 @@ func (s *System) Telemetry(finish engine.Time) *telemetry.Snapshot {
 	s.Mem.PublishTelemetry(r)
 	s.SE.PublishTelemetry(r)
 	cpu.PublishCores(r, s.Cores, finish)
+	if s.Faults != nil {
+		// Fault counters exist only on degraded machines, keeping clean
+		// runs' metrics documents byte-identical to fault-free builds.
+		s.Faults.PublishTelemetry(r)
+		r.Set("fault_bank_remapped_accesses", s.Space.RemappedAccesses)
+	}
 	for _, sp := range s.spans {
 		r.AddSpan(sp)
 	}

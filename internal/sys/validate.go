@@ -63,5 +63,13 @@ func (c Config) Validate() error {
 	if c.Mem.DefaultInterleave <= 0 {
 		return fmt.Errorf("sys: NUCA interleave %d bytes: must be positive (Table 2 uses 1024)", c.Mem.DefaultInterleave)
 	}
+	if !c.Faults.Empty() {
+		// Channel count is unknown until the mesh is built (it depends on
+		// controller placement); passing 0 skips the upper-bound check
+		// here, and faults.New re-validates against the real geometry.
+		if err := c.Faults.Check(c.MeshW*c.MeshH, 0); err != nil {
+			return fmt.Errorf("sys: %v", err)
+		}
+	}
 	return nil
 }

@@ -30,13 +30,24 @@ type Span struct {
 	Dur   uint64 `json:"dur"`
 }
 
+// Instant is one point event for the trace exporter — a fault occurrence,
+// a watchdog trip — rendered as a Chrome "i" (instant) event at TS.
+type Instant struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	TID  int    `json:"tid"`
+	TS   uint64 `json:"ts"`
+}
+
 // Snapshot is one run's telemetry: scalar counters plus fixed-length
-// series, keyed by stable snake_case names, and the recorded phase spans.
-// It marshals deterministically (encoding/json sorts map keys).
+// series, keyed by stable snake_case names, and the recorded phase spans
+// and instants. It marshals deterministically (encoding/json sorts map
+// keys).
 type Snapshot struct {
-	Scalars map[string]uint64   `json:"scalars"`
-	Series  map[string][]uint64 `json:"series,omitempty"`
-	Spans   []Span              `json:"-"`
+	Scalars  map[string]uint64   `json:"scalars"`
+	Series   map[string][]uint64 `json:"series,omitempty"`
+	Spans    []Span              `json:"-"`
+	Instants []Instant           `json:"-"`
 }
 
 // Registry accumulates counters, series and spans during collection.
@@ -80,6 +91,11 @@ func (r *Registry) SetSeries(name string, vals []uint64) {
 // AddSpan records one phase span.
 func (r *Registry) AddSpan(s Span) {
 	r.snap.Spans = append(r.snap.Spans, s)
+}
+
+// AddInstant records one point event.
+func (r *Registry) AddInstant(i Instant) {
+	r.snap.Instants = append(r.snap.Instants, i)
 }
 
 // Snapshot returns the accumulated state. The returned snapshot shares no

@@ -17,6 +17,7 @@ type traceEvent struct {
 	Dur  uint64            `json:"dur"`
 	PID  int               `json:"pid"`
 	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant-event scope
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -27,14 +28,15 @@ type traceDoc struct {
 	Metadata    map[string]string `json:"metadata,omitempty"`
 }
 
-// WriteTrace writes spans as a Chrome trace_event JSON document (load it
-// in chrome://tracing or https://ui.perfetto.dev). Spans keep their input
-// order; the byte stream depends only on the inputs, so exports are
-// reproducible. All events share pid 0 — rows are distinguished by TID,
-// and threadNames[i] (when set) labels row i via a thread_name metadata
-// event.
-func WriteTrace(w io.Writer, spans []Span, threadNames []string, metadata map[string]string) error {
-	doc := traceDoc{TraceEvents: make([]traceEvent, 0, len(spans)+len(threadNames)), Metadata: metadata}
+// WriteTrace writes spans and instants as a Chrome trace_event JSON
+// document (load it in chrome://tracing or https://ui.perfetto.dev).
+// Spans become complete ("X") events and instants thread-scoped point
+// ("i") events, each kind keeping its input order; the byte stream
+// depends only on the inputs, so exports are reproducible. All events
+// share pid 0 — rows are distinguished by TID, and threadNames[i] (when
+// set) labels row i via a thread_name metadata event.
+func WriteTrace(w io.Writer, spans []Span, instants []Instant, threadNames []string, metadata map[string]string) error {
+	doc := traceDoc{TraceEvents: make([]traceEvent, 0, len(spans)+len(instants)+len(threadNames)), Metadata: metadata}
 	for tid, name := range threadNames {
 		if name == "" {
 			continue
@@ -48,6 +50,12 @@ func WriteTrace(w io.Writer, spans []Span, threadNames []string, metadata map[st
 		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
 			Name: s.Name, Cat: s.Cat, Ph: "X",
 			TS: s.Start, Dur: s.Dur, PID: 0, TID: s.TID,
+		})
+	}
+	for _, in := range instants {
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: in.Name, Cat: in.Cat, Ph: "i",
+			TS: in.TS, PID: 0, TID: in.TID, S: "t",
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -29,7 +29,7 @@ func goldenSpans() ([]Span, []string, map[string]string) {
 func TestWriteTraceGolden(t *testing.T) {
 	spans, threads, meta := goldenSpans()
 	var buf bytes.Buffer
-	if err := WriteTrace(&buf, spans, threads, meta); err != nil {
+	if err := WriteTrace(&buf, spans, nil, threads, meta); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "trace_golden.json")
@@ -49,11 +49,16 @@ func TestWriteTraceGolden(t *testing.T) {
 
 // TestWriteTraceShape checks the structural invariants any trace_event
 // consumer relies on: one metadata event per named thread, one complete
-// ("X") event per span, all on pid 0.
+// ("X") event per span, one thread-scoped instant ("i") event per
+// instant, all on pid 0.
 func TestWriteTraceShape(t *testing.T) {
 	spans, threads, meta := goldenSpans()
+	instants := []Instant{
+		{Name: "flit_drop", Cat: "fault", TID: 1, TS: 512},
+		{Name: "dead_bank", Cat: "fault", TID: 1, TS: 0},
+	}
 	var buf bytes.Buffer
-	if err := WriteTrace(&buf, spans, threads, meta); err != nil {
+	if err := WriteTrace(&buf, spans, instants, threads, meta); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
@@ -63,7 +68,7 @@ func TestWriteTraceShape(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatal(err)
 	}
-	var x, m int
+	var x, m, i int
 	for _, ev := range doc.TraceEvents {
 		if pid, _ := ev["pid"].(float64); pid != 0 {
 			t.Errorf("event on pid %v, want 0", ev["pid"])
@@ -73,10 +78,15 @@ func TestWriteTraceShape(t *testing.T) {
 			x++
 		case "M":
 			m++
+		case "i":
+			i++
+			if ev["s"] != "t" {
+				t.Errorf("instant event scope %v, want t", ev["s"])
+			}
 		}
 	}
-	if x != len(spans) || m != len(threads) {
-		t.Errorf("got %d X and %d M events, want %d and %d", x, m, len(spans), len(threads))
+	if x != len(spans) || m != len(threads) || i != len(instants) {
+		t.Errorf("got %d X, %d M, %d i events, want %d, %d and %d", x, m, i, len(spans), len(threads), len(instants))
 	}
 	if doc.Metadata["experiment"] != "fig12" {
 		t.Errorf("metadata lost: %v", doc.Metadata)
