@@ -16,6 +16,10 @@
 // so the rendered figures — and the -metrics-out / -trace-out files —
 // are byte-identical for every -j. Timing accounting goes to stderr,
 // keeping stdout deterministic.
+//
+// For wall-clock performance measurement (ns/op, allocs/op,
+// sim-cycles/sec) and the committed BENCH_*.json baselines, use
+// cmd/affbench; this binary reports simulated results only.
 package main
 
 import (

@@ -13,6 +13,10 @@
 // figures are written in registry order, so the report — and the
 // -metrics-out / -trace-out files — are byte-identical for every -j.
 // Per-experiment timing goes to stderr, never into the report.
+//
+// For wall-clock performance measurement (ns/op, allocs/op,
+// sim-cycles/sec) and the committed BENCH_*.json baselines, use
+// cmd/affbench; this binary reports simulated results only.
 package main
 
 import (

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"regexp"
+	"testing"
+	"time"
+
+	"affinityalloc/internal/engine"
+	"affinityalloc/internal/harness"
+)
+
+// ExperimentEntries wraps every paper experiment as a benchmark entry.
+// Each iteration regenerates the experiment end to end at the given
+// sizing on one worker (Jobs=1, so ns/op is not scheduler noise), and the
+// per-cell timing accounting is folded into a sim-cycles/sec metric.
+func ExperimentEntries(scale harness.Scale, seed int64) []Entry {
+	exps := harness.Experiments()
+	out := make([]Entry, 0, len(exps))
+	for _, e := range exps {
+		e := e
+		out = append(out, Entry{
+			Name: "experiment/" + e.ID,
+			F: func(b *testing.B) {
+				var totSim engine.Time
+				var totWall time.Duration
+				for i := 0; i < b.N; i++ {
+					tm := &harness.Timing{}
+					fig, err := e.Run(harness.Options{Scale: scale, Seed: seed, Jobs: 1, Timing: tm})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(fig.Tables) == 0 {
+						b.Fatal("experiment produced no tables")
+					}
+					_, wall, sim := tm.Summary()
+					totSim += sim
+					totWall += wall
+				}
+				if totWall > 0 {
+					b.ReportMetric(float64(totSim)/totWall.Seconds(), "simcycles/s")
+				}
+			},
+		})
+	}
+	return out
+}
+
+// Entries assembles the runnable set: kernel microbenchmarks plus (unless
+// kernelOnly) the experiment suite, filtered by the optional name regexp.
+func Entries(scale harness.Scale, seed int64, kernelOnly bool, filter *regexp.Regexp) []Entry {
+	all := KernelEntries()
+	if !kernelOnly {
+		all = append(all, ExperimentEntries(scale, seed)...)
+	}
+	if filter == nil {
+		return all
+	}
+	out := all[:0]
+	for _, e := range all {
+		if filter.MatchString(e.Name) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package bench is the benchmark runner behind `cmd/affbench` and the
+// BENCH_*.json baselines: it defines the event-kernel microbenchmarks,
+// wraps the paper-experiment suite as benchmark entries, runs entries via
+// testing.Benchmark, and reads/writes/validates/diffs the schema'd
+// baseline documents.
+package bench
+
+import (
+	"testing"
+
+	"affinityalloc/internal/engine"
+)
+
+// kernelQueue is the surface shared by the ladder queue (engine.Sim) and
+// the container/heap reference (engine.RefQueue) so the same benchmark
+// bodies measure both.
+type kernelQueue interface {
+	After(engine.Time, func())
+	ScheduleArg(engine.Time, func(uint64), uint64)
+	At(engine.Time, func())
+	Run() engine.Time
+	Now() engine.Time
+}
+
+// churnDepth is the steady-state queue depth the churn benchmarks hold:
+// deep enough that ordering work dominates, shallow enough to model the
+// per-component event populations the simulator actually carries.
+const churnDepth = 512
+
+// churn is the event-churn benchmark: the queue holds churnDepth
+// self-rescheduling events, so each of the b.N operations is one
+// steady-state schedule+fire pair. horizonMask bounds the pseudorandom
+// reschedule distance — small masks keep events in the near-future ring,
+// large masks force the far-future spill path.
+func churn(b *testing.B, q kernelQueue, horizonMask engine.Time) {
+	remaining := b.N
+	x := uint64(0x9e3779b97f4a7c15)
+	var self func()
+	self = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		x = x*6364136223846793005 + 1442695040888963407
+		q.After((engine.Time(x>>33)&horizonMask)+1, self)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < churnDepth; i++ {
+		self()
+	}
+	q.Run()
+}
+
+// churnArg is churn on the ScheduleArg fast path: one stored callback,
+// state packed into the uint64 argument, no closures at all.
+func churnArg(b *testing.B, q kernelQueue, horizonMask engine.Time) {
+	remaining := b.N
+	var self func(uint64)
+	self = func(x uint64) {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		x = x*6364136223846793005 + 1442695040888963407
+		q.ScheduleArg(q.Now()+(engine.Time(x>>33)&horizonMask)+1, self, x)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < churnDepth; i++ {
+		self(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	q.Run()
+}
+
+// sameCycleBurst measures same-cycle FIFO throughput: bursts of events at
+// the current cycle, drained in scheduling order.
+func sameCycleBurst(b *testing.B, q kernelQueue) {
+	fn := func() {}
+	const burst = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += burst {
+		at := q.Now() + 1
+		for i := 0; i < burst; i++ {
+			q.At(at, fn)
+		}
+		q.Run()
+	}
+}
+
+// Near-future masks stay inside the ladder's ring window; spill masks
+// overflow it on most reschedules.
+const (
+	nearMask  = 127
+	spillMask = 8191
+)
+
+// ChurnLadder measures steady-state event churn on the ladder queue.
+func ChurnLadder(b *testing.B) { churn(b, engine.New(1), nearMask) }
+
+// ChurnHeap is the same churn on the retained container/heap reference —
+// the pre-ladder kernel, and the baseline the ≥25% ns/op improvement gate
+// compares against.
+func ChurnHeap(b *testing.B) { churn(b, &engine.RefQueue{}, nearMask) }
+
+// ChurnSpillLadder stresses the far-future spill path of the ladder.
+func ChurnSpillLadder(b *testing.B) { churn(b, engine.New(1), spillMask) }
+
+// ChurnSpillHeap is the far-future churn on the heap reference.
+func ChurnSpillHeap(b *testing.B) { churn(b, &engine.RefQueue{}, spillMask) }
+
+// ScheduleArgLadder measures the allocation-free ScheduleArg fast path.
+func ScheduleArgLadder(b *testing.B) { churnArg(b, engine.New(1), nearMask) }
+
+// ScheduleArgHeap is the ScheduleArg churn on the heap reference.
+func ScheduleArgHeap(b *testing.B) { churnArg(b, &engine.RefQueue{}, nearMask) }
+
+// SameCycleLadder measures same-cycle FIFO bursts on the ladder.
+func SameCycleLadder(b *testing.B) { sameCycleBurst(b, engine.New(1)) }
+
+// KernelEntries lists the event-kernel microbenchmarks in report order.
+// The churn/ladder-vs-heap pair is the regression gate for the kernel
+// rewrite; the spill pair guards the overflow path.
+func KernelEntries() []Entry {
+	return []Entry{
+		{Name: "kernel/churn/ladder", F: ChurnLadder},
+		{Name: "kernel/churn/heap", F: ChurnHeap},
+		{Name: "kernel/churn-spill/ladder", F: ChurnSpillLadder},
+		{Name: "kernel/churn-spill/heap", F: ChurnSpillHeap},
+		{Name: "kernel/schedule-arg/ladder", F: ScheduleArgLadder},
+		{Name: "kernel/schedule-arg/heap", F: ScheduleArgHeap},
+		{Name: "kernel/same-cycle/ladder", F: SameCycleLadder},
+	}
+}

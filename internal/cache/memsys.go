@@ -62,6 +62,15 @@ type MemSystem struct {
 
 	DRAMReads  uint64
 	DRAMWrites uint64
+
+	// clock, when attached, turns bank-occupancy and DRAM-completion
+	// accounting into retirement events scheduled at the completion cycle
+	// (see AttachClock). The handlers are bound once so scheduling
+	// allocates nothing.
+	clock      *engine.Sim
+	bankBusyFn func(uint64)
+	dramRdFn   func(uint64)
+	dramWrFn   func(uint64)
 }
 
 // NewMemSystem wires banks, controllers and DRAM channels over the mesh.
@@ -104,6 +113,61 @@ func NewMemSystem(space *memsim.Space, net *noc.Network, cfg MemSysConfig) (*Mem
 	return m, nil
 }
 
+// Retirement events pack (index, amount) into the ScheduleArg argument:
+// bank-occupancy events use a 24-bit amount (per-access occupancy is a
+// few cycles), DRAM events a 48-bit one (channel queueing waits can grow
+// long under blackout faults). Indexes are bank/channel numbers.
+const (
+	bankBusyBits = 24
+	dramWaitBits = 48
+)
+
+// AttachClock defers bank-occupancy and DRAM channel accounting through
+// the event kernel: each L3 access schedules its bank-busy charge at the
+// access start cycle, and each DRAM read/writeback schedules its channel
+// counters (access count + queue-cycles) at the channel service start.
+// The updates are commutative adds, so readers that drain first (all
+// accessors here do) observe exactly the inline totals; passing nil
+// restores inline accounting.
+func (m *MemSystem) AttachClock(clock *engine.Sim) {
+	m.clock = clock
+	if clock == nil {
+		m.bankBusyFn, m.dramRdFn, m.dramWrFn = nil, nil, nil
+		return
+	}
+	m.bankBusyFn = func(arg uint64) {
+		m.bankBusy[arg>>bankBusyBits] += arg & (1<<bankBusyBits - 1)
+	}
+	m.dramRdFn = func(arg uint64) {
+		ci := arg >> dramWaitBits
+		m.DRAMReads++
+		m.chanReads[ci]++
+		m.chanQueueCycles[ci] += arg & (1<<dramWaitBits - 1)
+	}
+	m.dramWrFn = func(arg uint64) {
+		ci := arg >> dramWaitBits
+		m.DRAMWrites++
+		m.chanWrites[ci]++
+		m.chanQueueCycles[ci] += arg & (1<<dramWaitBits - 1)
+	}
+}
+
+// retire schedules one deferred accounting event, draining first when the
+// queue has grown to its retirement batch bound.
+func (m *MemSystem) retire(at engine.Time, fn func(uint64), arg uint64) {
+	if m.clock.Pending() >= engine.DrainPending {
+		m.clock.Run()
+	}
+	m.clock.ScheduleArg(at, fn, arg)
+}
+
+// drain retires pending accounting events before a counter read.
+func (m *MemSystem) drain() {
+	if m.clock != nil {
+		m.clock.Run()
+	}
+}
+
 // Space returns the simulated address space.
 func (m *MemSystem) Space() *memsim.Space { return m.space }
 
@@ -135,7 +199,11 @@ func (m *MemSystem) Access(now engine.Time, va memsim.Addr, write bool) (done en
 func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bool) (done engine.Time, hit bool) {
 	line := uint64(memsim.Line(va))
 	start := m.bankSrv[bank].Reserve(now, int(m.cfg.BankOccupancy))
-	m.bankBusy[bank] += uint64(m.cfg.BankOccupancy)
+	if m.clock != nil {
+		m.retire(start, m.bankBusyFn, uint64(bank)<<bankBusyBits|uint64(m.cfg.BankOccupancy))
+	} else {
+		m.bankBusy[bank] += uint64(m.cfg.BankOccupancy)
+	}
 
 	hit, victim, dirtyVictim := m.banks[bank].Access(line, write)
 	done = start + m.cfg.L3HitLatency
@@ -155,9 +223,13 @@ func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bo
 		ready, latency = m.cfg.Faults.DRAMAdjust(ci, reqArrive, latency)
 	}
 	dramStart := m.dramSrv[ci].Reserve(ready, int(m.cfg.DRAMServe))
-	m.DRAMReads++
-	m.chanReads[ci]++
-	m.chanQueueCycles[ci] += uint64(dramStart - reqArrive)
+	if m.clock != nil {
+		m.retire(dramStart, m.dramRdFn, uint64(ci)<<dramWaitBits|uint64(dramStart-reqArrive))
+	} else {
+		m.DRAMReads++
+		m.chanReads[ci]++
+		m.chanQueueCycles[ci] += uint64(dramStart - reqArrive)
+	}
 	dataReady := dramStart + latency
 	respArrive := m.net.Send(dataReady, ctrl, bank, noc.Data, memsim.LineSize)
 
@@ -170,9 +242,13 @@ func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bo
 			wbReady, _ = m.cfg.Faults.DRAMAdjust(ci, wbArrive, 0)
 		}
 		wbStart := m.dramSrv[ci].Reserve(wbReady, int(m.cfg.DRAMServe))
-		m.DRAMWrites++
-		m.chanWrites[ci]++
-		m.chanQueueCycles[ci] += uint64(wbStart - wbArrive)
+		if m.clock != nil {
+			m.retire(wbStart, m.dramWrFn, uint64(ci)<<dramWaitBits|uint64(wbStart-wbArrive))
+		} else {
+			m.DRAMWrites++
+			m.chanWrites[ci]++
+			m.chanQueueCycles[ci] += uint64(wbStart - wbArrive)
+		}
 		_ = victim
 	}
 	return respArrive, false
@@ -212,6 +288,7 @@ func (m *MemSystem) L3MissRate() float64 {
 // BankBusyCycles returns a copy of each bank port's accumulated busy
 // cycles.
 func (m *MemSystem) BankBusyCycles() []uint64 {
+	m.drain()
 	out := make([]uint64, len(m.bankBusy))
 	copy(out, m.bankBusy)
 	return out
@@ -224,6 +301,7 @@ func (m *MemSystem) Channels() int { return len(m.ctrls) }
 // series and the per-channel DRAM read/write/queue series into the
 // registry — the access-balance view behind Figs 5, 6 and 12.
 func (m *MemSystem) PublishTelemetry(r *telemetry.Registry) {
+	m.drain()
 	n := len(m.banks)
 	acc := make([]uint64, n)
 	hits := make([]uint64, n)
@@ -242,6 +320,7 @@ func (m *MemSystem) PublishTelemetry(r *telemetry.Registry) {
 
 // ResetStats clears bank and DRAM counters but keeps cache contents.
 func (m *MemSystem) ResetStats() {
+	m.drain() // retire in-flight accounting so it cannot leak past the reset
 	for _, b := range m.banks {
 		b.ResetStats()
 	}

@@ -1,0 +1,21 @@
+package engine
+
+import "testing"
+
+// FuzzLadderQueue feeds arbitrary op scripts through the differential
+// driver: the ladder queue must fire the exact event sequence of the
+// container/heap reference for every input. Seeds come from the
+// randomized determinism test's generator shapes.
+func FuzzLadderQueue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{1, 255, 4, 31, 5, 200, 3, 7})
+	f.Add([]byte{0, 10, 1, 10, 2, 10, 3, 10, 4, 10, 5, 10})
+	f.Add([]byte{22, 99, 0, 1, 11, 128, 4, 250, 4, 249, 2, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 2048 {
+			ops = ops[:2048] // bound nested fan-out
+		}
+		diffQueues(t, ops)
+	})
+}

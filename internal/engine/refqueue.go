@@ -1,0 +1,120 @@
+package engine
+
+import "container/heap"
+
+// RefQueue is the reference event queue: the original container/heap
+// implementation the ladder queue replaced, retained as the executable
+// specification of (at, seq) ordering. The differential determinism tests
+// and the FuzzLadderQueue target drive Sim and RefQueue with identical
+// schedules and assert identical firing orders, and the kernel
+// microbenchmarks use it as the churn baseline (every Push boxes the
+// event through interface{}, which is exactly the allocation the ladder
+// queue removes).
+type RefQueue struct {
+	pq  refHeap
+	now Time
+	seq uint64
+}
+
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+	afn func(uint64)
+	arg uint64
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulated cycle.
+func (q *RefQueue) Now() Time { return q.now }
+
+// Pending reports the number of queued events.
+func (q *RefQueue) Pending() int { return len(q.pq) }
+
+// At schedules fn at the given absolute cycle, clamping past times to now
+// exactly like Sim.At.
+func (q *RefQueue) At(at Time, fn func()) {
+	if at < q.now {
+		at = q.now
+	}
+	q.seq++
+	heap.Push(&q.pq, refEvent{at: at, seq: q.seq, fn: fn})
+}
+
+// After schedules fn delay cycles from now.
+func (q *RefQueue) After(delay Time, fn func()) {
+	q.At(q.now+delay, fn)
+}
+
+// ScheduleArg schedules fn(arg) at the given absolute cycle, mirroring
+// Sim.ScheduleArg.
+func (q *RefQueue) ScheduleArg(at Time, fn func(uint64), arg uint64) {
+	if at < q.now {
+		at = q.now
+	}
+	q.seq++
+	heap.Push(&q.pq, refEvent{at: at, seq: q.seq, afn: fn, arg: arg})
+}
+
+// Advance moves the clock forward without running events; never rewinds.
+func (q *RefQueue) Advance(to Time) {
+	if to > q.now {
+		q.now = to
+	}
+}
+
+// Run executes events until the queue drains and returns the final cycle.
+// Like Sim.Run, the clock never rewinds.
+func (q *RefQueue) Run() Time {
+	for len(q.pq) > 0 {
+		e := heap.Pop(&q.pq).(refEvent)
+		if e.at > q.now {
+			q.now = e.at
+		}
+		if e.afn != nil {
+			e.afn(e.arg)
+		} else {
+			e.fn()
+		}
+	}
+	return q.now
+}
+
+// RunUntil executes events with timestamps <= deadline, parking the clock
+// at the deadline when the queue drained earlier — the same documented
+// semantics as Sim.RunUntil.
+func (q *RefQueue) RunUntil(deadline Time) Time {
+	for len(q.pq) > 0 && q.pq[0].at <= deadline {
+		e := heap.Pop(&q.pq).(refEvent)
+		if e.at > q.now {
+			q.now = e.at
+		}
+		if e.afn != nil {
+			e.afn(e.arg)
+		} else {
+			e.fn()
+		}
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+	return q.now
+}

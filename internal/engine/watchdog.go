@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -90,9 +89,15 @@ func (s *Sim) AddDiagnostic(name string, fn func() string) {
 // PendingEvents returns a snapshot of up to max queued events in firing
 // order (all of them when max <= 0).
 func (s *Sim) PendingEvents(max int) []PendingEvent {
-	out := make([]PendingEvent, len(s.pq))
-	for i, e := range s.pq {
-		out[i] = PendingEvent{At: e.at, Seq: e.seq}
+	out := make([]PendingEvent, 0, s.Pending())
+	for i := range s.ring {
+		b := &s.ring[i]
+		for _, e := range b.ev[b.rd:] {
+			out = append(out, PendingEvent{At: e.at, Seq: e.seq})
+		}
+	}
+	for _, e := range s.spill {
+		out = append(out, PendingEvent{At: e.at, Seq: e.seq})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].At != out[j].At {
@@ -112,7 +117,7 @@ func (s *Sim) stallError(reason string, executed uint64) *StallError {
 		Reason:   reason,
 		Now:      s.now,
 		Executed: executed,
-		QueueLen: len(s.pq),
+		QueueLen: s.Pending(),
 		Pending:  s.PendingEvents(pendingDumpCap),
 	}
 	for _, d := range s.diags {
@@ -134,8 +139,11 @@ func (s *Sim) RunGuarded(cfg WatchdogConfig) (Time, error) {
 	}
 	var executed uint64
 	sameCycle := 0
-	for len(s.pq) > 0 {
-		next := s.pq[0].at
+	for {
+		next, ok := s.peekAt()
+		if !ok {
+			return s.now, nil
+		}
 		if cfg.MaxCycles > 0 && next > cfg.MaxCycles {
 			return s.now, s.stallError(fmt.Sprintf("cycle budget %d exceeded (next event at %d)", cfg.MaxCycles, next), executed)
 		}
@@ -147,10 +155,11 @@ func (s *Sim) RunGuarded(cfg WatchdogConfig) (Time, error) {
 		} else {
 			sameCycle = 0
 		}
-		e := heap.Pop(&s.pq).(event)
-		s.now = e.at
-		e.fn()
+		e := s.pop()
+		if e.at > s.now {
+			s.now = e.at
+		}
+		e.run()
 		executed++
 	}
-	return s.now, nil
 }

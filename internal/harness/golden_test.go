@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden_test.go's committed reports")
+
+const goldenTinyPath = "testdata/golden_tiny_report.txt"
+
+// goldenExperiments is the subset of the report the golden test pins: the
+// layout microbenchmarks, both parameter tables, and the atomic
+// distribution — together they exercise affine and irregular placement,
+// remote ops, and the table renderer, while staying seconds-fast. The
+// heavyweight overall figures are covered (structurally, not by bytes) by
+// TestAllExperimentsTiny and the parallel byte-identity tests.
+var goldenExperiments = map[string]bool{
+	"fig4": true, "fig6": true, "t2": true, "t3": true, "fig14": true,
+}
+
+// TestGoldenTinyReport regenerates a slice of the tiny-scale report and
+// byte-compares it against the committed golden file. Any change to
+// simulation behavior — timing model, placement policy, counter
+// accounting, rendering — shows up here as a diff. To bless an
+// intentional change:
+//
+//	go test ./internal/harness -run TestGoldenTinyReport -update
+func TestGoldenTinyReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(Options{Scale: Tiny, Seed: 1, Jobs: 4}, &buf, goldenExperiments, nil, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenTinyPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTinyPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenTinyPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenTinyPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("tiny report diverged from %s (len got %d, want %d); "+
+			"if the change is intentional, re-bless with -update.\nfirst divergence near: %s",
+			goldenTinyPath, len(got), len(want), firstDiff(got, want))
+	}
+}
+
+// firstDiff returns a short window around the first differing byte.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 60
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 60
+	window := func(s []byte) string {
+		h := hi
+		if h > len(s) {
+			h = len(s)
+		}
+		if lo >= h {
+			return ""
+		}
+		return string(s[lo:h])
+	}
+	return "got ..." + window(a) + "... want ..." + window(b) + "..."
+}

@@ -165,3 +165,34 @@ func TestFaultedFigureByteIdenticalAcrossJobs(t *testing.T) {
 		t.Fatalf("faulted fig4 differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s", j1, j8)
 	}
 }
+
+// TestFaultedDeferredAccountingByteIdenticalAcrossJobs stresses the
+// deferred-retirement accounting path under a degraded machine: lossy
+// links draw randomized retransmits (extra deferred flit events), a
+// duty-cycled DRAM channel stretches completion cycles far into the
+// kernel's spill window, and redirected SE work moves remote-op
+// retirements across banks. Fig 14's atomic distribution reads the
+// per-bank remote-op series, so any lost or reordered retirement shows up
+// as a j1-vs-j8 byte diff.
+func TestFaultedDeferredAccountingByteIdenticalAcrossJobs(t *testing.T) {
+	spec := faults.Spec{Seed: 1, NDeadBanks: 2, NDeadLinks: 2,
+		Links: []faults.LinkFault{{From: 0, To: 1, Drop: 0.05}},
+		DRAM: []faults.DRAMFault{
+			{Chan: 0, LatencyX: 2},
+			{Chan: 1, LatencyX: 1, DutyOn: 40, DutyPeriod: 100},
+		}}
+	render := func(jobs int) string {
+		fig, err := Fig14(Options{Scale: Tiny, Seed: 1, Jobs: jobs, Faults: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		fig.Render(&buf)
+		return buf.String()
+	}
+	j1 := render(1)
+	j8 := render(8)
+	if j1 != j8 {
+		t.Fatalf("faulted fig14 differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s", j1, j8)
+	}
+}

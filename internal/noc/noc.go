@@ -90,6 +90,14 @@ type Network struct {
 
 	classes    [NumClasses]ClassStats
 	routeCache []topo.Link // scratch buffer reused across sends
+
+	// clock, when attached, turns per-hop link-flit accounting into
+	// retirement events: each hop's flit count is applied by a ScheduleArg
+	// event at the hop's departure cycle instead of inline (see
+	// AttachClock). flitFn is the one bound handler built at attach time,
+	// so scheduling allocates nothing.
+	clock  *engine.Sim
+	flitFn func(uint64)
 }
 
 // withDefaults fills unset fields. A fully zero Config selects
@@ -143,6 +151,52 @@ func New(mesh *topo.Mesh, cfg Config) *Network {
 
 // Mesh returns the underlying topology.
 func (n *Network) Mesh() *topo.Mesh { return n.mesh }
+
+// Per-hop retirement events pack (link index, flit units) into the
+// ScheduleArg argument. Units occupy the low bits; messages are at most a
+// few flits plus bounded retransmit extras, so 24 bits is generous.
+const flitUnitBits = 24
+
+// AttachClock defers per-hop link-flit accounting through the event
+// kernel: every hop schedules one allocation-free retirement event at its
+// departure cycle instead of bumping the counter inline. Retirements are
+// commutative adds, so any reader that drains the clock first (all
+// accessors here do) observes exactly the inline totals — byte-identical
+// reports — while the hot path sheds the counter's cache traffic onto the
+// kernel's batched drain. Passing nil restores inline accounting.
+func (n *Network) AttachClock(clock *engine.Sim) {
+	n.clock = clock
+	if clock == nil {
+		n.flitFn = nil
+		return
+	}
+	n.flitFn = n.retireFlits // bind once; ScheduleArg then allocates nothing
+}
+
+// retireFlits applies one hop's deferred flit count.
+func (n *Network) retireFlits(arg uint64) {
+	n.linkFlits[arg>>flitUnitBits] += arg & (1<<flitUnitBits - 1)
+}
+
+// accountFlits charges units flits to directed link idx at cycle at —
+// deferred through the kernel when a clock is attached, inline otherwise.
+func (n *Network) accountFlits(at engine.Time, idx, units int) {
+	if n.clock == nil {
+		n.linkFlits[idx] += uint64(units)
+		return
+	}
+	if n.clock.Pending() >= engine.DrainPending {
+		n.clock.Run() // bound the queue; adds commute so early retirement is invisible
+	}
+	n.clock.ScheduleArg(at, n.flitFn, uint64(idx)<<flitUnitBits|uint64(units))
+}
+
+// drain retires pending accounting events before a counter read.
+func (n *Network) drain() {
+	if n.clock != nil {
+		n.clock.Run()
+	}
+}
 
 // Flits returns the number of flits a message with the given payload
 // occupies, including the header flit share.
@@ -201,7 +255,7 @@ func (n *Network) Send(now engine.Time, from, to int, class Class, payloadBytes 
 			retryDelay = delay
 		}
 		depart := n.linkSrv[idx].Reserve(arrive, units)
-		n.linkFlits[idx] += uint64(units)
+		n.accountFlits(depart, idx, units)
 		arrive = depart + n.cfg.PerHopCycles + retryDelay
 	}
 	return arrive + engine.Time(flits-1)
@@ -242,6 +296,7 @@ func (n *Network) Utilization(elapsed engine.Time) float64 {
 // TotalLinkFlits sums flits over every directed link — the numerator of
 // Utilization. Zero when ModelConflict is off (no per-link accounting).
 func (n *Network) TotalLinkFlits() uint64 {
+	n.drain()
 	var flits uint64
 	for _, f := range n.linkFlits {
 		flits += f
@@ -255,6 +310,7 @@ func (n *Network) TotalLinkFlits() uint64 {
 // series. Only populated when ModelConflict is on (the default); the
 // fast path skips route enumeration.
 func (n *Network) LinkFlits() []uint64 {
+	n.drain()
 	out := make([]uint64, len(n.linkFlits))
 	copy(out, n.linkFlits)
 	return out
@@ -263,6 +319,7 @@ func (n *Network) LinkFlits() []uint64 {
 // PublishTelemetry publishes per-class traffic scalars and the per-link
 // flit heatmap into the registry.
 func (n *Network) PublishTelemetry(r *telemetry.Registry) {
+	n.drain()
 	for class, st := range n.classes {
 		name := Class(class).String()
 		r.Set("noc_"+name+"_messages", st.Messages)
@@ -277,6 +334,7 @@ func (n *Network) PublishTelemetry(r *telemetry.Registry) {
 // ResetStats clears traffic counters while keeping link schedules, so a
 // measurement window can exclude warmup.
 func (n *Network) ResetStats() {
+	n.drain() // retire in-flight accounting so it cannot leak past the reset
 	n.classes = [NumClasses]ClassStats{}
 	for i := range n.linkFlits {
 		n.linkFlits[i] = 0

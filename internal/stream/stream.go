@@ -95,6 +95,13 @@ type Engine struct {
 	FaultRedirects uint64
 
 	atomicSampler AtomicSampler
+
+	// clock, when attached, turns op-retirement accounting into events
+	// scheduled at each operation's completion cycle (see AttachClock).
+	// The handlers are bound once so scheduling allocates nothing.
+	clock     *engine.Sim
+	computeFn func(uint64)
+	remoteFn  func(uint64)
 }
 
 // NewEngine builds the shared stream-engine state over a memory system.
@@ -114,6 +121,50 @@ func NewEngine(mem *cache.MemSystem, cfg Config) *Engine {
 		e.computeSrv[i] = engine.NewServer(cfg.SMTThreads, 8, 4096)
 	}
 	return e
+}
+
+// Compute-retirement events pack (bank, elements) into the ScheduleArg
+// argument; element groups are small, so 32 bits of count is generous.
+const computeElemBits = 32
+
+// AttachClock defers SE op-retirement accounting through the event
+// kernel: each Compute charges its element counters at the computation's
+// completion cycle, and each RemoteOp charges the remote-op counters at
+// its retirement cycle, via allocation-free ScheduleArg events. The
+// updates are commutative adds, so readers that drain first (telemetry
+// does) observe exactly the inline totals; passing nil restores inline
+// accounting.
+func (e *Engine) AttachClock(clock *engine.Sim) {
+	e.clock = clock
+	if clock == nil {
+		e.computeFn, e.remoteFn = nil, nil
+		return
+	}
+	e.computeFn = func(arg uint64) {
+		elems := arg & (1<<computeElemBits - 1)
+		e.ElementsComputed += elems
+		e.bankElements[arg>>computeElemBits] += elems
+	}
+	e.remoteFn = func(arg uint64) {
+		e.RemoteOps++
+		e.bankRemoteOps[arg]++
+	}
+}
+
+// retire schedules one deferred accounting event, draining first when the
+// queue has grown to its retirement batch bound.
+func (e *Engine) retire(at engine.Time, fn func(uint64), arg uint64) {
+	if e.clock.Pending() >= engine.DrainPending {
+		e.clock.Run()
+	}
+	e.clock.ScheduleArg(at, fn, arg)
+}
+
+// drain retires pending accounting events before a counter read.
+func (e *Engine) drain() {
+	if e.clock != nil {
+		e.clock.Run()
+	}
 }
 
 // Config returns the engine configuration.
@@ -195,11 +246,16 @@ func (e *Engine) Compute(now engine.Time, bank, elems int) engine.Time {
 	if elems <= 0 {
 		return now
 	}
-	e.ElementsComputed += uint64(elems)
-	e.bankElements[bank] += uint64(elems)
 	dur := (elems + e.cfg.SIMDLanes - 1) / e.cfg.SIMDLanes
 	start := e.computeSrv[bank].Reserve(now, dur)
-	return start + e.cfg.ComputeInit + engine.Time(dur)
+	done := start + e.cfg.ComputeInit + engine.Time(dur)
+	if e.clock != nil {
+		e.retire(done, e.computeFn, uint64(bank)<<computeElemBits|uint64(elems))
+	} else {
+		e.ElementsComputed += uint64(elems)
+		e.bankElements[bank] += uint64(elems)
+	}
+	return done
 }
 
 // RemoteOp models an indirect request sent from a stream at fromBank to
@@ -209,9 +265,7 @@ func (e *Engine) Compute(now engine.Time, bank, elems int) engine.Time {
 // returned time is the response's arrival back at fromBank; otherwise it
 // is the remote completion.
 func (e *Engine) RemoteOp(now engine.Time, fromBank int, va memsim.Addr, write, withResponse bool) (done engine.Time, homeBank int) {
-	e.RemoteOps++
 	homeBank = e.mem.BankOf(va)
-	e.bankRemoteOps[homeBank]++
 	t := now
 	if homeBank != fromBank {
 		t = e.net.Send(t, fromBank, homeBank, noc.Control, e.cfg.RemoteOpBytes)
@@ -223,6 +277,12 @@ func (e *Engine) RemoteOp(now engine.Time, fromBank int, va memsim.Addr, write, 
 	}
 	if withResponse && homeBank != fromBank {
 		t = e.net.Send(t, homeBank, fromBank, noc.Control, e.cfg.AckBytes)
+	}
+	if e.clock != nil {
+		e.retire(t, e.remoteFn, uint64(homeBank))
+	} else {
+		e.RemoteOps++
+		e.bankRemoteOps[homeBank]++
 	}
 	return t, homeBank
 }
@@ -240,6 +300,7 @@ func (e *Engine) Forward(now engine.Time, from, to int, bytes int) engine.Time {
 // PublishTelemetry publishes the stream-engine op breakdown (scalars)
 // and the per-bank remote-op / computed-element series into the registry.
 func (e *Engine) PublishTelemetry(r *telemetry.Registry) {
+	e.drain()
 	r.Set("se_streams_configured", e.StreamsConfigured)
 	r.Set("se_migrations", e.Migrations)
 	r.Set("se_remote_ops", e.RemoteOps)

@@ -1,0 +1,51 @@
+package sys_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"affinityalloc/internal/sys"
+	"affinityalloc/internal/workloads"
+)
+
+// TestDeferredAccountingMatchesInline pins the deferred-retirement
+// contract: running a workload with counter updates scheduled through the
+// event kernel (the default) must produce a metrics document
+// byte-identical to running it with Config.InlineAccounting set. The
+// deferred path only reorders commutative adds and drains them before any
+// read, so a divergence here means a retirement event was lost, double
+// applied, or mis-packed.
+func TestDeferredAccountingMatchesInline(t *testing.T) {
+	// One affine workload (NoC link flits + bank/DRAM completions) and one
+	// pointer workload (SE remote ops + migrations) cover every converted
+	// accounting site.
+	cases := []struct {
+		name string
+		w    workloads.Workload
+		mode sys.Mode
+	}{
+		{"vecadd-affalloc", workloads.VecAdd{N: 1 << 14, ForceDelta: -1}, sys.AffAlloc},
+		{"linklist-nearl3", workloads.LinkList{Lists: 16, Nodes: 64, Queries: 1}, sys.NearL3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(inline bool) []byte {
+				cfg := sys.DefaultConfig()
+				cfg.InlineAccounting = inline
+				res, err := workloads.Run(cfg, tc.w, tc.mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				doc, err := json.Marshal(res.Metrics)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return doc
+			}
+			deferred, inline := run(false), run(true)
+			if string(deferred) != string(inline) {
+				t.Errorf("deferred and inline accounting diverge:\ndeferred: %.400s\ninline:   %.400s", deferred, inline)
+			}
+		})
+	}
+}

@@ -35,6 +35,11 @@ type Config struct {
 	// or lossy NoC links, and throttled DRAM channels. The zero value
 	// injects nothing and leaves every fast path untouched.
 	Faults faults.Spec
+	// InlineAccounting disables the event-kernel deferred-retirement
+	// accounting path and keeps every counter update inline — a debugging
+	// knob for bisecting deferred-vs-inline divergence (there should be
+	// none; see TestDeferredAccountingMatchesInline).
+	InlineAccounting bool
 }
 
 // DefaultConfig mirrors Table 2: an 8x8 mesh of cores with 64 L3 banks.
@@ -72,6 +77,11 @@ type System struct {
 	Cores []*cpu.Core
 	SE    *stream.Engine
 	RT    *core.Runtime
+	// Clock is the system event kernel. The NoC, memory system, and
+	// stream engines schedule their counter retirements on it (unless
+	// Config.InlineAccounting is set); Telemetry drains it before any
+	// counter is read, so reports are byte-identical either way.
+	Clock *engine.Sim
 	// Faults is the resolved fault injector; nil on a clean machine.
 	Faults *faults.Injector
 
@@ -137,6 +147,12 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	clock := engine.New(cfg.Seed)
+	if !cfg.InlineAccounting {
+		net.AttachClock(clock)
+		mem.AttachClock(clock)
+		se.AttachClock(clock)
+	}
 	return &System{
 		Cfg:    cfg,
 		Mesh:   mesh,
@@ -147,6 +163,7 @@ func New(cfg Config) (*System, error) {
 		Cores:  cores,
 		SE:     se,
 		RT:     rt,
+		Clock:  clock,
 		Faults: inj,
 	}, nil
 }
@@ -243,6 +260,7 @@ func (m Metrics) EnergyTotal() float64 { return m.Energy.Total() }
 // cycle: every component publishes its counters and per-tile series into
 // a fresh registry, and recorded phases become trace spans.
 func (s *System) Telemetry(finish engine.Time) *telemetry.Snapshot {
+	s.Clock.Run() // retire all deferred accounting before any counter is read
 	r := telemetry.NewRegistry()
 	r.Set("cycles", uint64(finish))
 	s.Net.PublishTelemetry(r)
