@@ -66,6 +66,11 @@ func BenchmarkKernelChurnSpillHeap(b *testing.B)    { bench.ChurnSpillHeap(b) }
 func BenchmarkKernelScheduleArgLadder(b *testing.B) { bench.ScheduleArgLadder(b) }
 func BenchmarkKernelScheduleArgHeap(b *testing.B)   { bench.ScheduleArgHeap(b) }
 func BenchmarkKernelSameCycleLadder(b *testing.B)   { bench.SameCycleLadder(b) }
+func BenchmarkKernelChurnSparseLadder(b *testing.B) { bench.ChurnSparseLadder(b) }
+func BenchmarkKernelChurnSparseHeap(b *testing.B)   { bench.ChurnSparseHeap(b) }
+func BenchmarkKernelShardPDES1(b *testing.B)        { bench.ShardPDES1(b) }
+func BenchmarkKernelShardPDES2(b *testing.B)        { bench.ShardPDES2(b) }
+func BenchmarkKernelShardPDES4(b *testing.B)        { bench.ShardPDES4(b) }
 
 // Per-workload benchmarks: one simulated run per iteration under each
 // configuration, reporting simulated cycles as a custom metric.

@@ -49,6 +49,7 @@ func main() {
 		scaleStr  = flag.String("scale", "default", "experiment scale: tiny|default|paper")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		jobs      = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
+		shards    = flag.Int("shards", 1, "event-kernel shards per cell (mesh rectangles; output is byte-identical for every value)")
 		timing    = flag.Bool("timing", false, "report per-cell wall time and sim-cycles/s on stderr")
 		policy    = flag.String("policy", "hybrid5", "bank policy: rnd|lnr|minhop|hybrid1|hybrid3|hybrid5|hybrid7")
 		modeStr   = flag.String("mode", "all", "with -workload: run one configuration (incore|nearl3|affalloc) or all")
@@ -75,14 +76,14 @@ func main() {
 		}()
 	}
 
-	if err := run(*list, *exp, *all, *workload, *scaleStr, *seed, *jobs, *timing,
+	if err := run(*list, *exp, *all, *workload, *scaleStr, *seed, *jobs, *shards, *timing,
 		*policy, *modeStr, *metrics, *trace, *validate, *faultsStr); err != nil {
 		pprof.StopCPUProfile()
 		fatal(err)
 	}
 }
 
-func run(list bool, exp string, all bool, workload, scaleStr string, seed int64, jobs int,
+func run(list bool, exp string, all bool, workload, scaleStr string, seed int64, jobs, shards int,
 	timing bool, policy, modeStr, metricsPath, tracePath, validatePath, faultsStr string) error {
 	scale, err := harness.ParseScale(scaleStr)
 	if err != nil {
@@ -92,7 +93,10 @@ func run(list bool, exp string, all bool, workload, scaleStr string, seed int64,
 	if err != nil {
 		return err
 	}
-	opt := harness.Options{Scale: scale, Seed: seed, Jobs: jobs, Faults: spec}
+	opt := harness.Options{Scale: scale, Seed: seed, Jobs: jobs, Shards: shards, Faults: spec}
+	if err := opt.Validate(); err != nil {
+		return err
+	}
 
 	switch {
 	case validatePath != "":
@@ -303,6 +307,7 @@ func runWorkload(opt harness.Options, name, policyStr, modeStr, metricsPath, tra
 	cfg.Seed = opt.Seed
 	cfg.Policy = pcfg
 	cfg.Faults = opt.Faults
+	cfg.Shards = opt.Shards
 	var base workloads.Result
 	var cells []harness.CollectedCell
 	var failed []harness.CellFailure

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	afftables [-scale tiny|default|paper] [-seed N] [-j N] [-timing]
+//	afftables [-scale tiny|default|paper] [-seed N] [-j N] [-shards K] [-timing]
 //	          [-o report.txt] [-only fig12,fig13]
 //	          [-faults dead-banks=2] [-faults-sweep]
 //	          [-metrics-out m.json] [-trace-out t.json] [-pprof cpu.prof]
@@ -37,6 +37,7 @@ func main() {
 		scaleStr  = flag.String("scale", "default", "experiment scale: tiny|default|paper")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		jobs      = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
+		shards    = flag.Int("shards", 1, "event-kernel shards per cell (mesh rectangles; output is byte-identical for every value)")
 		timing    = flag.Bool("timing", false, "also report per-cell wall time and sim-cycles/s on stderr")
 		outPath   = flag.String("o", "", "output file (default stdout)")
 		only      = flag.String("only", "", "comma-separated experiment ids (default all)")
@@ -58,7 +59,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "afftables:", err)
 		os.Exit(1)
 	}
-	opt := harness.Options{Scale: scale, Seed: *seed, Jobs: *jobs, Faults: spec}
+	opt := harness.Options{Scale: scale, Seed: *seed, Jobs: *jobs, Shards: *shards, Faults: spec}
+	if err := opt.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "afftables:", err)
+		os.Exit(1)
+	}
 
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)

@@ -118,8 +118,8 @@ func TestKernelEntriesRunnable(t *testing.T) {
 		t.Skip("runs each kernel benchmark at full benchtime")
 	}
 	entries := KernelEntries()
-	if len(entries) != 7 {
-		t.Fatalf("KernelEntries() = %d entries, want 7", len(entries))
+	if len(entries) != 12 {
+		t.Fatalf("KernelEntries() = %d entries, want 12", len(entries))
 	}
 	results := Run(entries, nil)
 	for _, r := range results {

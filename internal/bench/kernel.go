@@ -27,12 +27,20 @@ type kernelQueue interface {
 // per-component event populations the simulator actually carries.
 const churnDepth = 512
 
-// churn is the event-churn benchmark: the queue holds churnDepth
+// sparseDepth is the population the sparse churn benchmarks hold: so few
+// events that the ring is mostly empty slots, making the cost of finding
+// the next occupied cycle — not the scheduling itself — the measured
+// operation.
+const sparseDepth = 4
+
+// churn is the event-churn benchmark: the queue holds depth
 // self-rescheduling events, so each of the b.N operations is one
 // steady-state schedule+fire pair. horizonMask bounds the pseudorandom
 // reschedule distance — small masks keep events in the near-future ring,
-// large masks force the far-future spill path.
-func churn(b *testing.B, q kernelQueue, horizonMask engine.Time) {
+// large masks force the far-future spill path. A depth far below the mask
+// leaves the ring sparse, which is what exercises the queue's
+// next-occupied-slot scan.
+func churn(b *testing.B, q kernelQueue, horizonMask engine.Time, depth int) {
 	remaining := b.N
 	x := uint64(0x9e3779b97f4a7c15)
 	var self func()
@@ -46,7 +54,7 @@ func churn(b *testing.B, q kernelQueue, horizonMask engine.Time) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < churnDepth; i++ {
+	for i := 0; i < depth; i++ {
 		self()
 	}
 	q.Run()
@@ -97,18 +105,29 @@ const (
 )
 
 // ChurnLadder measures steady-state event churn on the ladder queue.
-func ChurnLadder(b *testing.B) { churn(b, engine.New(1), nearMask) }
+func ChurnLadder(b *testing.B) { churn(b, engine.New(1), nearMask, churnDepth) }
 
 // ChurnHeap is the same churn on the retained container/heap reference —
 // the pre-ladder kernel, and the baseline the ≥25% ns/op improvement gate
 // compares against.
-func ChurnHeap(b *testing.B) { churn(b, &engine.RefQueue{}, nearMask) }
+func ChurnHeap(b *testing.B) { churn(b, &engine.RefQueue{}, nearMask, churnDepth) }
 
 // ChurnSpillLadder stresses the far-future spill path of the ladder.
-func ChurnSpillLadder(b *testing.B) { churn(b, engine.New(1), spillMask) }
+func ChurnSpillLadder(b *testing.B) { churn(b, engine.New(1), spillMask, churnDepth) }
 
 // ChurnSpillHeap is the far-future churn on the heap reference.
-func ChurnSpillHeap(b *testing.B) { churn(b, &engine.RefQueue{}, spillMask) }
+func ChurnSpillHeap(b *testing.B) { churn(b, &engine.RefQueue{}, spillMask, churnDepth) }
+
+// ChurnSparseLadder measures sparse-ring churn on the ladder: a handful
+// of events spread over the full ring window, so nearly every pop must
+// skip a long run of empty cycles. This is the workload the occupancy
+// bitmap exists for — the pre-bitmap kernel probed every empty slot one
+// by one, and this entry is its regression gate.
+func ChurnSparseLadder(b *testing.B) { churn(b, engine.New(1), nearMask, sparseDepth) }
+
+// ChurnSparseHeap is the sparse churn on the heap reference, whose cost
+// is depth-dependent and so indifferent to sparsity.
+func ChurnSparseHeap(b *testing.B) { churn(b, &engine.RefQueue{}, nearMask, sparseDepth) }
 
 // ScheduleArgLadder measures the allocation-free ScheduleArg fast path.
 func ScheduleArgLadder(b *testing.B) { churnArg(b, engine.New(1), nearMask) }
@@ -121,15 +140,23 @@ func SameCycleLadder(b *testing.B) { sameCycleBurst(b, engine.New(1)) }
 
 // KernelEntries lists the event-kernel microbenchmarks in report order.
 // The churn/ladder-vs-heap pair is the regression gate for the kernel
-// rewrite; the spill pair guards the overflow path.
+// rewrite; the spill pair guards the overflow path; the sparse pair
+// guards the occupancy-bitmap next-event scan; the shard-pdes trio
+// tracks the windowed conservative-synchronization overhead at each
+// shard count.
 func KernelEntries() []Entry {
 	return []Entry{
 		{Name: "kernel/churn/ladder", F: ChurnLadder},
 		{Name: "kernel/churn/heap", F: ChurnHeap},
 		{Name: "kernel/churn-spill/ladder", F: ChurnSpillLadder},
 		{Name: "kernel/churn-spill/heap", F: ChurnSpillHeap},
+		{Name: "kernel/churn-sparse/ladder", F: ChurnSparseLadder},
+		{Name: "kernel/churn-sparse/heap", F: ChurnSparseHeap},
 		{Name: "kernel/schedule-arg/ladder", F: ScheduleArgLadder},
 		{Name: "kernel/schedule-arg/heap", F: ScheduleArgHeap},
 		{Name: "kernel/same-cycle/ladder", F: SameCycleLadder},
+		{Name: "kernel/shard-pdes/1", F: ShardPDES1},
+		{Name: "kernel/shard-pdes/2", F: ShardPDES2},
+		{Name: "kernel/shard-pdes/4", F: ShardPDES4},
 	}
 }

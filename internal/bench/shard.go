@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"affinityalloc/internal/engine"
+)
+
+// pdesLookahead is the conservative window width the sharded benchmarks
+// run with — the same order as the simulator's per-hop NoC latency, so
+// the window/compute ratio matches what a sharded system sees.
+const pdesLookahead = 8
+
+// pdesDepth is the total event population: the same steady-state depth
+// as the churn benchmarks, dealt round-robin across shards so total
+// queue work is comparable between shard counts.
+const pdesDepth = churnDepth
+
+// pdesChurn is the sharded conservative-PDES benchmark: a population of
+// self-perpetuating events hops between shards through Coordinator.Send,
+// so each of the b.N operations is one schedule+fire pair including its
+// share of window synchronization (admit, min-pending scan, barrier).
+// shards=1 measures the degenerate single-kernel path; higher counts
+// measure how much synchronization overhead the windowed protocol adds
+// and, on multi-core hosts, how much of it parallel window execution
+// buys back. The remaining counter is atomic because shard windows
+// execute on separate goroutines.
+func pdesChurn(b *testing.B, shards int) {
+	c := engine.NewCoordinator(shards, pdesLookahead, 1)
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	hops := make([]func(uint64), shards)
+	for i := range hops {
+		i := i
+		hops[i] = func(x uint64) {
+			if remaining.Add(-1) < 0 {
+				return
+			}
+			x = x*6364136223846793005 + 1442695040888963407
+			dst := int((x >> 33) % uint64(shards))
+			at := c.Shard(i).Now() + pdesLookahead + engine.Time(x>>40)&7
+			if dst == i {
+				c.Shard(i).ScheduleArg(at, hops[i], x)
+			} else {
+				c.Send(i, dst, at, hops[dst], x)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for j := 0; j < pdesDepth; j++ {
+		sh := j % shards
+		c.Shard(sh).ScheduleArg(engine.Time(1+j/shards), hops[sh], uint64(j)*0x9e3779b97f4a7c15)
+	}
+	c.Run()
+}
+
+// ShardPDES1 benchmarks the Coordinator's degenerate single-shard path —
+// the overhead floor every sharded run is compared against.
+func ShardPDES1(b *testing.B) { pdesChurn(b, 1) }
+
+// ShardPDES2 benchmarks two-way sharded execution.
+func ShardPDES2(b *testing.B) { pdesChurn(b, 2) }
+
+// ShardPDES4 benchmarks four-way sharded execution (mesh quadrants).
+func ShardPDES4(b *testing.B) { pdesChurn(b, 4) }

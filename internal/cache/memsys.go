@@ -63,14 +63,22 @@ type MemSystem struct {
 	DRAMReads  uint64
 	DRAMWrites uint64
 
-	// clock, when attached, turns bank-occupancy and DRAM-completion
+	// clocks, when attached, turn bank-occupancy and DRAM-completion
 	// accounting into retirement events scheduled at the completion cycle
 	// (see AttachClock). The handlers are bound once so scheduling
-	// allocates nothing.
-	clock      *engine.Sim
-	bankBusyFn func(uint64)
-	dramRdFn   func(uint64)
-	dramWrFn   func(uint64)
+	// allocates nothing. bankSim/chanSim route each retirement to the
+	// kernel shard owning the bank or channel, so the coordinator's
+	// parallel drain updates every per-entity counter from exactly one
+	// goroutine; the shared DRAMReads/DRAMWrites scalars accumulate into
+	// per-shard delta slots folded in on drain.
+	clocks                   *engine.Coordinator
+	bankSim                  []*engine.Sim
+	chanSim                  []*engine.Sim
+	chanShard                []int
+	dramRdDelta, dramWrDelta []uint64
+	bankBusyFn               func(uint64)
+	dramRdFn                 func(uint64)
+	dramWrFn                 func(uint64)
 }
 
 // NewMemSystem wires banks, controllers and DRAM channels over the mesh.
@@ -127,44 +135,90 @@ const (
 // access start cycle, and each DRAM read/writeback schedules its channel
 // counters (access count + queue-cycles) at the channel service start.
 // The updates are commutative adds, so readers that drain first (all
-// accessors here do) observe exactly the inline totals; passing nil
-// restores inline accounting.
-func (m *MemSystem) AttachClock(clock *engine.Sim) {
-	m.clock = clock
-	if clock == nil {
+// accessors here do) observe exactly the inline totals.
+//
+// bankShard assigns each bank to a kernel shard; a bank's retirements run
+// on its owning shard and a channel's on the shard of its controller
+// bank, so parallel shard drains touch disjoint per-entity counters. The
+// machine-wide DRAMReads/DRAMWrites scalars are accumulated in per-shard
+// delta slots and folded in on drain. A nil bankShard puts everything on
+// shard 0; a nil coordinator restores inline accounting.
+func (m *MemSystem) AttachClock(clocks *engine.Coordinator, bankShard []int) {
+	m.clocks = clocks
+	if clocks == nil {
+		m.bankSim, m.chanSim, m.chanShard = nil, nil, nil
+		m.dramRdDelta, m.dramWrDelta = nil, nil
 		m.bankBusyFn, m.dramRdFn, m.dramWrFn = nil, nil, nil
 		return
 	}
+	shardOf := func(bank int) int {
+		if bankShard == nil {
+			return 0
+		}
+		return bankShard[bank]
+	}
+	m.bankSim = make([]*engine.Sim, len(m.banks))
+	for b := range m.bankSim {
+		m.bankSim[b] = clocks.Shard(shardOf(b))
+	}
+	m.chanSim = make([]*engine.Sim, len(m.ctrls))
+	m.chanShard = make([]int, len(m.ctrls))
+	for ci, ctrl := range m.ctrls {
+		m.chanShard[ci] = shardOf(ctrl)
+		m.chanSim[ci] = clocks.Shard(m.chanShard[ci])
+	}
+	m.dramRdDelta = make([]uint64, clocks.NumShards())
+	m.dramWrDelta = make([]uint64, clocks.NumShards())
 	m.bankBusyFn = func(arg uint64) {
 		m.bankBusy[arg>>bankBusyBits] += arg & (1<<bankBusyBits - 1)
 	}
 	m.dramRdFn = func(arg uint64) {
 		ci := arg >> dramWaitBits
-		m.DRAMReads++
+		m.dramRdDelta[m.chanShard[ci]]++
 		m.chanReads[ci]++
 		m.chanQueueCycles[ci] += arg & (1<<dramWaitBits - 1)
 	}
 	m.dramWrFn = func(arg uint64) {
 		ci := arg >> dramWaitBits
-		m.DRAMWrites++
+		m.dramWrDelta[m.chanShard[ci]]++
 		m.chanWrites[ci]++
 		m.chanQueueCycles[ci] += arg & (1<<dramWaitBits - 1)
 	}
 }
 
-// retire schedules one deferred accounting event, draining first when the
-// queue has grown to its retirement batch bound.
-func (m *MemSystem) retire(at engine.Time, fn func(uint64), arg uint64) {
-	if m.clock.Pending() >= engine.DrainPending {
-		m.clock.Run()
+// retire schedules one deferred accounting event on the owning shard,
+// draining that shard first when its queue has grown to the retirement
+// batch bound or when the event falls beyond the shard's ring window
+// (retirement cycles track analytic time, which races ahead of the
+// parked shard clock; flushing and re-anchoring the empty window at the
+// new cycle keeps every insert on the O(1) ring path instead of the
+// spill heap). Both are safe because retirement adds commute. The drain
+// uses DrainAccounting, never Run: a mid-run flush must leave the shard
+// clock exactly where it was (the clock fast-forward Run would cause was
+// harmless only while nothing read Now() between drains — with
+// per-shard clocks it would wreck the conservative horizon).
+func (m *MemSystem) retire(sim *engine.Sim, at engine.Time, fn func(uint64), arg uint64) {
+	if sim.Pending() >= engine.DrainPending || (sim.Pending() > 0 && !sim.InRing(at)) {
+		sim.DrainAccounting()
 	}
-	m.clock.ScheduleArg(at, fn, arg)
+	if sim.Pending() == 0 {
+		sim.Advance(at)
+	}
+	sim.ScheduleArg(at, fn, arg)
 }
 
-// drain retires pending accounting events before a counter read.
+// drain retires pending accounting events before a counter read, leaving
+// every shard clock where it was, and folds the per-shard DRAM scalar
+// deltas into the machine-wide totals.
 func (m *MemSystem) drain() {
-	if m.clock != nil {
-		m.clock.Run()
+	if m.clocks == nil {
+		return
+	}
+	m.clocks.DrainAccounting()
+	for sh := range m.dramRdDelta {
+		m.DRAMReads += m.dramRdDelta[sh]
+		m.DRAMWrites += m.dramWrDelta[sh]
+		m.dramRdDelta[sh], m.dramWrDelta[sh] = 0, 0
 	}
 }
 
@@ -199,8 +253,8 @@ func (m *MemSystem) Access(now engine.Time, va memsim.Addr, write bool) (done en
 func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bool) (done engine.Time, hit bool) {
 	line := uint64(memsim.Line(va))
 	start := m.bankSrv[bank].Reserve(now, int(m.cfg.BankOccupancy))
-	if m.clock != nil {
-		m.retire(start, m.bankBusyFn, uint64(bank)<<bankBusyBits|uint64(m.cfg.BankOccupancy))
+	if m.clocks != nil {
+		m.retire(m.bankSim[bank], start, m.bankBusyFn, uint64(bank)<<bankBusyBits|uint64(m.cfg.BankOccupancy))
 	} else {
 		m.bankBusy[bank] += uint64(m.cfg.BankOccupancy)
 	}
@@ -223,8 +277,8 @@ func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bo
 		ready, latency = m.cfg.Faults.DRAMAdjust(ci, reqArrive, latency)
 	}
 	dramStart := m.dramSrv[ci].Reserve(ready, int(m.cfg.DRAMServe))
-	if m.clock != nil {
-		m.retire(dramStart, m.dramRdFn, uint64(ci)<<dramWaitBits|uint64(dramStart-reqArrive))
+	if m.clocks != nil {
+		m.retire(m.chanSim[ci], dramStart, m.dramRdFn, uint64(ci)<<dramWaitBits|uint64(dramStart-reqArrive))
 	} else {
 		m.DRAMReads++
 		m.chanReads[ci]++
@@ -242,8 +296,8 @@ func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bo
 			wbReady, _ = m.cfg.Faults.DRAMAdjust(ci, wbArrive, 0)
 		}
 		wbStart := m.dramSrv[ci].Reserve(wbReady, int(m.cfg.DRAMServe))
-		if m.clock != nil {
-			m.retire(wbStart, m.dramWrFn, uint64(ci)<<dramWaitBits|uint64(wbStart-wbArrive))
+		if m.clocks != nil {
+			m.retire(m.chanSim[ci], wbStart, m.dramWrFn, uint64(ci)<<dramWaitBits|uint64(wbStart-wbArrive))
 		} else {
 			m.DRAMWrites++
 			m.chanWrites[ci]++

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestDrainAccountingKeepsNow is the regression test for the deferred-drain
+// clock fast-forward: MemSystem.retire/drain used to flush pending
+// accounting with Run(), silently jumping Sim.now to the furthest
+// retirement timestamp mid-run. DrainAccounting must execute everything
+// and leave Now() exactly where it was.
+func TestDrainAccountingKeepsNow(t *testing.T) {
+	s := New(1)
+	s.Advance(1000)
+
+	var total uint64
+	add := func(v uint64) { total += v }
+	// A mix of near-future (ring) and far-future (spill) retirements.
+	for i := 0; i < 100; i++ {
+		s.ScheduleArg(1000+Time(i*3), add, 1)
+	}
+	for i := 0; i < 100; i++ {
+		s.ScheduleArg(1000+ringWindow*2+Time(i*17), add, 10)
+	}
+
+	s.DrainAccounting()
+
+	if got := s.Now(); got != 1000 {
+		t.Fatalf("Now() = %d after DrainAccounting, want 1000 (clock must not advance)", got)
+	}
+	if total != 100*1+100*10 {
+		t.Fatalf("total = %d, want %d (all pending events must execute)", total, 100*1+100*10)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", s.Pending())
+	}
+}
+
+// TestDrainAccountingRepeatedMidRun interleaves drains with fresh
+// scheduling, as the memory system does every DrainPending retirements:
+// the queue must keep accepting and correctly ordering events after the
+// post-drain rebase, for both ring and spill cycles.
+func TestDrainAccountingRepeatedMidRun(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	rec := func(v uint64) { fired = append(fired, Time(v)) }
+
+	clock := Time(0)
+	for round := 0; round < 10; round++ {
+		clock += 137
+		s.Advance(clock)
+		// Near, mid and spill-range events, scheduled out of order.
+		for _, d := range []Time{ringWindow * 3, 1, 97, ringWindow + 5, 2} {
+			at := clock + d
+			s.ScheduleArg(at, rec, uint64(at))
+		}
+		s.DrainAccounting()
+		if got := s.Now(); got != clock {
+			t.Fatalf("round %d: Now() = %d, want %d", round, got, clock)
+		}
+	}
+
+	if len(fired) != 50 {
+		t.Fatalf("fired %d events, want 50", len(fired))
+	}
+	// Within each round, events must fire in timestamp order.
+	for i := 0; i < len(fired); i += 5 {
+		for j := i + 1; j < i+5; j++ {
+			if fired[j] < fired[j-1] {
+				t.Fatalf("round %d fired out of order: %v", i/5, fired[i:i+5])
+			}
+		}
+	}
+}
+
+// TestDrainAccountingEmptyIsNoop checks the fast path leaves all state
+// alone.
+func TestDrainAccountingEmptyIsNoop(t *testing.T) {
+	s := New(1)
+	s.Advance(42)
+	s.DrainAccounting()
+	if s.Now() != 42 || s.Pending() != 0 {
+		t.Fatalf("empty drain disturbed state: now=%d pending=%d", s.Now(), s.Pending())
+	}
+	// And the queue still works afterwards.
+	ran := false
+	s.At(50, func() { ran = true })
+	if got := s.Run(); got != 50 || !ran {
+		t.Fatalf("post-drain Run: now=%d ran=%v", got, ran)
+	}
+}
+
+// TestSparseRingPeekOrder drives the occupancy-bitmap peek/pop fast path
+// through sparse rings, window wrap-around, and ring/spill interleavings,
+// checking every firing against the RefQueue specification.
+func TestSparseRingPeekOrder(t *testing.T) {
+	s := New(1)
+	q := &RefQueue{}
+
+	var got, want []Time
+	rec := func(v uint64) { got = append(got, Time(v)) }
+	ref := func(v uint64) { want = append(want, Time(v)) }
+
+	schedule := func(at Time) {
+		s.ScheduleArg(at, rec, uint64(at))
+		q.ScheduleArg(at, ref, uint64(at))
+	}
+
+	// Sparse within the first window: single events far apart, including
+	// the last slot.
+	for _, at := range []Time{5, 63, 64, 190, 255} {
+		schedule(at)
+	}
+	// Far future, so the window must jump and wrap.
+	for _, at := range []Time{900, 901, 1400} {
+		schedule(at)
+	}
+
+	// Drive both via RunUntil in lockstep so peekAt is exercised before
+	// every pop (the RunGuarded pattern).
+	for step := Time(100); step <= 1500; step += 100 {
+		s.RunUntil(step)
+		q.RunUntil(step)
+		// Schedule more events mid-run, sparsely, relative to now.
+		if step == 300 {
+			schedule(s.Now() + 7)
+			schedule(s.Now() + 250)
+		}
+	}
+	s.Run()
+	q.Run()
+
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, reference fired %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("firing %d: got cycle %d, reference %d\n got: %v\nwant: %v", i, got[i], want[i], got, want)
+		}
+	}
+	if s.Now() != q.Now() {
+		t.Fatalf("final clocks differ: ladder %d, reference %d", s.Now(), q.Now())
+	}
+}

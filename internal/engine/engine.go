@@ -23,6 +23,7 @@
 package engine
 
 import (
+	"math/bits"
 	"math/rand"
 )
 
@@ -85,6 +86,12 @@ type Sim struct {
 	head  int
 	nring int // events currently bucketed
 
+	// occ is the ring occupancy bitmap: bit j is set iff ring[j] holds
+	// unread events. peekAt and pop's window advance consult it instead of
+	// probing slots one by one, so a sparse ring costs O(words) instead of
+	// O(ringWindow) per peek.
+	occ [ringWindow / 64]uint64
+
 	// spill holds events at or beyond base+ringWindow, as an unboxed
 	// binary min-heap ordered by (at, seq).
 	spill []event
@@ -115,8 +122,10 @@ func (s *Sim) Pending() int { return s.nring + len(s.spill) }
 // so at-base never underflows and the ring slot mapping is exact.
 func (s *Sim) schedule(at Time, e event) {
 	if at-s.base < ringWindow {
-		b := &s.ring[(int(at-s.base)+s.head)&ringMask]
+		j := (int(at-s.base) + s.head) & ringMask
+		b := &s.ring[j]
 		b.ev = append(b.ev, e)
+		s.occ[j>>6] |= 1 << uint(j&63)
 		s.nring++
 		return
 	}
@@ -161,17 +170,34 @@ func (s *Sim) ScheduleArg(at Time, fn func(uint64), arg uint64) {
 // through to the spill when the ring is empty.
 func (s *Sim) peekAt() (at Time, ok bool) {
 	if s.nring > 0 {
-		for i := 0; i < ringWindow; i++ {
-			b := &s.ring[(s.head+i)&ringMask]
-			if b.rd < len(b.ev) {
-				return s.base + Time(i), true
-			}
-		}
+		return s.base + Time(s.nextOccupied()), true
 	}
 	if len(s.spill) > 0 {
 		return s.spill[0].at, true
 	}
 	return 0, false
+}
+
+// nextOccupied returns the offset from head (in cycles) of the first
+// occupied ring slot. The caller must hold nring > 0, which guarantees a
+// set bit exists. The scan reads at most occWords+1 bitmap words: the
+// head word masked from the head bit, the following words, and the head
+// word again masked below the head bit for the wrap-around tail.
+func (s *Sim) nextOccupied() int {
+	const occWords = ringWindow / 64
+	h := s.head
+	w, bit := h>>6, uint(h&63)
+	if m := s.occ[w] >> bit; m != 0 {
+		return bits.TrailingZeros64(m)
+	}
+	off := 64 - int(bit)
+	for k := 1; k < occWords; k++ {
+		if m := s.occ[(w+k)&(occWords-1)]; m != 0 {
+			return off + (k-1)*64 + bits.TrailingZeros64(m)
+		}
+	}
+	m := s.occ[w] & (1<<bit - 1)
+	return off + (occWords-1)*64 + bits.TrailingZeros64(m)
 }
 
 // pop extracts the next event in (at, seq) order. The queue must be
@@ -199,15 +225,22 @@ func (s *Sim) pop() event {
 				// events); reset lazily only when truly drained.
 				b.ev = b.ev[:0]
 				b.rd = 0
+				s.occ[s.head>>6] &^= 1 << uint(s.head&63)
 			}
 			return e
 		}
-		// Bucket drained: advance the window one cycle and pull in any
-		// spill events that just became near-future.
+		// Bucket drained: jump the window straight to the next occupied
+		// cycle (via the occupancy bitmap — a sparse ring would otherwise
+		// cost up to ringWindow slot probes), then pull in any spill
+		// events that just became near-future. Skipping in one step is
+		// safe: every spill event is at or beyond base+ringWindow, so none
+		// can precede the next occupied ring slot, and migrated events
+		// land at offsets >= ringWindow-step > 0 — never ahead of it.
 		b.ev = b.ev[:0]
 		b.rd = 0
-		s.head = (s.head + 1) & ringMask
-		s.base++
+		step := s.nextOccupied() // nring > 0 here, so a slot is occupied
+		s.head = (s.head + step) & ringMask
+		s.base += Time(step)
 		s.migrate()
 	}
 }
@@ -220,8 +253,10 @@ func (s *Sim) migrate() {
 	limit := s.base + ringWindow
 	for len(s.spill) > 0 && s.spill[0].at < limit {
 		e := s.spillPop()
-		b := &s.ring[(int(e.at-s.base)+s.head)&ringMask]
+		j := (int(e.at-s.base) + s.head) & ringMask
+		b := &s.ring[j]
 		b.ev = append(b.ev, e)
+		s.occ[j>>6] |= 1 << uint(j&63)
 		s.nring++
 	}
 }
@@ -314,13 +349,63 @@ func (s *Sim) RunUntil(deadline Time) Time {
 	return s.now
 }
 
+// DrainAccounting executes every pending event and then restores the
+// clock, so Now() is unchanged across the call. It exists for the
+// deferred-retirement accounting pattern: counter updates scheduled at
+// completion cycles are commutative, time-independent adds, so flushing
+// them early must not fast-forward the clock the way Run would — with
+// per-shard kernels a drained shard would otherwise leap ahead of its
+// neighbors' horizons, and any mid-run Now() reader would observe the
+// furthest retirement timestamp instead of simulated time.
+//
+// The contract is exactly that: pending events must not observe the
+// clock (retirement adds do not — they are pure counter updates).
+// Events DO execute with the clock advancing internally — same order,
+// same callbacks as Run — and once the queue is empty the clock and
+// ring window are rebased to the saved cycle, which is safe precisely
+// because the queue is empty.
+func (s *Sim) DrainAccounting() {
+	if s.Pending() == 0 {
+		return
+	}
+	saved := s.now
+	s.Run()
+	// Queue drained: rewind the clock and rebase the (empty) ring so the
+	// schedule invariant base <= now still holds for the restored cycle.
+	s.now = saved
+	s.base = saved
+	s.head = 0
+}
+
 // Advance moves the clock forward without running events; used by
 // components that compute latencies analytically between event firings.
-// It never rewinds.
+// It never rewinds. When the queue is empty it also re-anchors the ring
+// window at the new cycle — there are no queued events an anchor move
+// could reorder — so near-future schedules that follow stay on the ring
+// path instead of spilling.
 func (s *Sim) Advance(to Time) {
 	if to > s.now {
 		s.now = to
+		if s.nring == 0 && len(s.spill) == 0 {
+			s.base = to
+			s.head = 0
+		}
 	}
+}
+
+// InRing reports whether an event scheduled at cycle at would land in
+// the near-future ring rather than the spill heap, applying the same
+// past-time clamp as At/ScheduleArg. Deferred-accounting callers check
+// it to drain-and-re-anchor before a schedule that would otherwise
+// start piling retirements into the heap: their events are commutative
+// counter adds, so an early drain never changes totals, and keeping the
+// window tracking the retirement stream keeps every insert on the O(1)
+// ring path.
+func (s *Sim) InRing(at Time) bool {
+	if at < s.now {
+		at = s.now
+	}
+	return at-s.base < ringWindow
 }
 
 // MaxTime returns the later of two times.

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Coordinator shards the event kernel: K independent ladder-queue Sims,
+// one per partition of the simulated machine (mesh quadrants, bank
+// groups), synchronized conservatively in the classic PDES style.
+//
+// Time advances in lookahead-wide windows. Every shard executes its local
+// events up to the window deadline in parallel; a cross-shard message
+// sent during a window is timestamped at least lookahead cycles past the
+// sender's clock (the minimum cross-shard NoC link latency), so it can
+// never be due inside the window that produced it. Messages land in the
+// destination shard's inbox and are admitted at the next window boundary
+// in (at, source shard, source sequence) order — an order every run
+// reproduces, making sharded execution deterministic for a fixed script
+// regardless of goroutine scheduling.
+//
+// The Coordinator also serves as the clock bundle for deferred-retirement
+// accounting on a sharded machine: components schedule each retirement on
+// the shard that owns the touched counter, and DrainAccounting flushes
+// all shards in parallel without advancing any clock (see
+// Sim.DrainAccounting). Counter updates are commutative adds over
+// shard-owned state, so parallel drains are race-free and order-blind.
+type Coordinator struct {
+	sims      []*Sim
+	lookahead Time
+
+	inboxes []shardInbox
+	sendSeq []uint64 // per-source message counters (touched only by the source)
+
+	// scratch for admit: reused sorted batch.
+	batch []shardMsg
+}
+
+// shardMsg is one cross-shard message awaiting admission.
+type shardMsg struct {
+	at  Time
+	src int
+	seq uint64
+	fn  func(uint64)
+	arg uint64
+}
+
+// shardInbox collects messages addressed to one shard. The mutex guards
+// concurrent senders during a window; admission happens between windows,
+// with all shard goroutines quiescent.
+type shardInbox struct {
+	mu   sync.Mutex
+	msgs []shardMsg
+}
+
+// NewCoordinator builds a sharded kernel of n Sims with the given
+// lookahead (clamped to >= 1: a zero lookahead admits no conservative
+// window). Shard i's random source is seeded deterministically from seed
+// and i.
+func NewCoordinator(n int, lookahead Time, seed int64) *Coordinator {
+	if n < 1 {
+		n = 1
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	c := &Coordinator{
+		sims:      make([]*Sim, n),
+		lookahead: lookahead,
+		inboxes:   make([]shardInbox, n),
+		sendSeq:   make([]uint64, n),
+	}
+	for i := range c.sims {
+		c.sims[i] = New(seed + int64(i)*0x9e37)
+	}
+	return c
+}
+
+// NumShards returns the shard count.
+func (c *Coordinator) NumShards() int { return len(c.sims) }
+
+// Lookahead returns the conservative synchronization window width.
+func (c *Coordinator) Lookahead() Time { return c.lookahead }
+
+// Shard returns shard i's kernel. Callers may schedule local events on it
+// directly; cross-shard work must go through Send.
+func (c *Coordinator) Shard(i int) *Sim { return c.sims[i] }
+
+// Pending reports the total queued events across shards and inboxes.
+func (c *Coordinator) Pending() int {
+	n := 0
+	for i := range c.sims {
+		n += c.sims[i].Pending()
+		n += len(c.inboxes[i].msgs)
+	}
+	return n
+}
+
+// Send enqueues fn(arg) on shard dst at cycle at. It is the only legal
+// way to schedule across shards: the timestamp must respect the
+// conservative lookahead (at >= source clock + lookahead), which is what
+// lets every shard run a full window ahead without waiting on its
+// neighbors. A violation is a programming error in the partitioning (a
+// cross-shard path faster than the declared minimum link latency) and
+// panics rather than silently corrupting the schedule.
+//
+// Send may be called concurrently from different source shards (each
+// executing its window on its own goroutine); one source must not send on
+// behalf of another.
+func (c *Coordinator) Send(src, dst int, at Time, fn func(uint64), arg uint64) {
+	if min := c.sims[src].Now() + c.lookahead; at < min {
+		panic(fmt.Sprintf("engine: cross-shard send from %d to %d at cycle %d violates lookahead %d (source clock %d)",
+			src, dst, at, c.lookahead, c.sims[src].Now()))
+	}
+	c.sendSeq[src]++
+	m := shardMsg{at: at, src: src, seq: c.sendSeq[src], fn: fn, arg: arg}
+	in := &c.inboxes[dst]
+	in.mu.Lock()
+	in.msgs = append(in.msgs, m)
+	in.mu.Unlock()
+}
+
+// admit moves every inbox message into its destination shard's queue, in
+// (at, src, seq) order so admission — and therefore execution — is
+// deterministic no matter how sender goroutines interleaved their
+// appends. Called only between windows, when all shards are quiescent.
+func (c *Coordinator) admit() {
+	for i := range c.inboxes {
+		in := &c.inboxes[i]
+		if len(in.msgs) == 0 {
+			continue
+		}
+		c.batch = append(c.batch[:0], in.msgs...)
+		in.msgs = in.msgs[:0]
+		sort.Slice(c.batch, func(a, b int) bool {
+			x, y := &c.batch[a], &c.batch[b]
+			if x.at != y.at {
+				return x.at < y.at
+			}
+			if x.src != y.src {
+				return x.src < y.src
+			}
+			return x.seq < y.seq
+		})
+		for _, m := range c.batch {
+			c.sims[i].ScheduleArg(m.at, m.fn, m.arg)
+		}
+	}
+}
+
+// minPending returns the earliest event cycle across all shards; ok is
+// false when every shard is empty.
+func (c *Coordinator) minPending() (at Time, ok bool) {
+	at = Forever
+	for _, s := range c.sims {
+		if t, o := s.peekAt(); o && t < at {
+			at, ok = t, true
+		}
+	}
+	return at, ok
+}
+
+// Run executes all shards to completion and returns the final cycle (the
+// latest shard clock). Each iteration admits pending cross-shard
+// messages, finds the globally earliest event, and lets every shard
+// execute in parallel up to that cycle plus the lookahead window; clocks
+// park at each window deadline, so shards stay within one window of each
+// other — the conservative guarantee that no admitted message is ever in
+// a receiver's past.
+func (c *Coordinator) Run() Time {
+	if len(c.sims) == 1 {
+		// Degenerate kernel: no windows needed, but keep admitting —
+		// events may Send to the (only) shard while running.
+		s := c.sims[0]
+		for {
+			c.admit()
+			if s.Pending() == 0 {
+				return s.Now()
+			}
+			s.Run()
+		}
+	}
+	k := len(c.sims)
+	work := make([]chan Time, k)
+	done := make(chan struct{}, k)
+	for i := range work {
+		work[i] = make(chan Time)
+		go func(i int) {
+			for dl := range work[i] {
+				c.sims[i].RunUntil(dl)
+				done <- struct{}{}
+			}
+		}(i)
+	}
+	for {
+		c.admit()
+		next, ok := c.minPending()
+		if !ok {
+			break
+		}
+		deadline := next + c.lookahead - 1
+		for i := range work {
+			work[i] <- deadline
+		}
+		for range work {
+			<-done
+		}
+	}
+	for i := range work {
+		close(work[i])
+	}
+	var max Time
+	for _, s := range c.sims {
+		max = MaxTime(max, s.Now())
+	}
+	return max
+}
+
+// DrainAccounting flushes every shard's pending retirement events in
+// parallel without advancing any clock — the sharded form of
+// Sim.DrainAccounting, and the drain every counter reader goes through.
+// Inbox messages are admitted first so a cross-shard retirement posted
+// but not yet admitted cannot be missed. Safe only under the accounting
+// contract: events are commutative adds over state owned by their shard.
+func (c *Coordinator) DrainAccounting() {
+	c.admit()
+	if len(c.sims) == 1 {
+		c.sims[0].DrainAccounting()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, s := range c.sims {
+		if s.Pending() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *Sim) {
+			defer wg.Done()
+			s.DrainAccounting()
+		}(s)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shardTraffic drives a Coordinator with a deterministic synthetic
+// message storm: every event adds into its shard's counter and, while it
+// has hops left, forwards itself to another shard at least lookahead
+// cycles ahead. It returns the per-shard counters.
+func shardTraffic(k int, lookahead Time, seeds, hops int) []uint64 {
+	c := NewCoordinator(k, lookahead, 1)
+	counts := make([]uint64, k)
+	rng := rand.New(rand.NewSource(7))
+
+	// arg packs (shard, hopsLeft, value): value adds into counts[shard];
+	// hopsLeft > 0 forwards to (shard+value)%k.
+	var hop func(arg uint64)
+	forward := func(src int, at Time, arg uint64) {
+		shard := int(arg>>48) % k
+		c.Send(src, shard, at, hop, arg)
+	}
+	hop = func(arg uint64) {
+		shard := int(arg>>48) % k
+		left := (arg >> 40) & 0xff
+		val := arg & 0xffffffffff
+		counts[shard] += val
+		if left == 0 {
+			return
+		}
+		next := (shard + int(val)) % k
+		at := c.Shard(shard).Now() + lookahead + Time(val%5)
+		narg := uint64(next)<<48 | (left-1)<<40 | val
+		forward(shard, at, narg)
+	}
+
+	for i := 0; i < seeds; i++ {
+		shard := rng.Intn(k)
+		val := uint64(rng.Intn(100) + 1)
+		at := Time(rng.Intn(64))
+		arg := uint64(shard)<<48 | uint64(hops)<<40 | val
+		c.Shard(shard).ScheduleArg(at, hop, arg)
+	}
+	c.Run()
+	return counts
+}
+
+// TestCoordinatorConservesWork checks the sharded kernel executes exactly
+// the work a single global queue would: the total value accumulated is
+// identical for every shard count, and matches a RefQueue oracle running
+// the same logical program.
+func TestCoordinatorConservesWork(t *testing.T) {
+	const lookahead, seeds, hops = 4, 200, 6
+
+	// Oracle: single RefQueue, same seeding and forwarding rules on a
+	// virtual k-shard machine (counts indexed by virtual shard).
+	oracle := func(k int) []uint64 {
+		q := &RefQueue{}
+		counts := make([]uint64, k)
+		var hop func(arg uint64)
+		hop = func(arg uint64) {
+			shard := int(arg>>48) % k
+			left := (arg >> 40) & 0xff
+			val := arg & 0xffffffffff
+			counts[shard] += val
+			if left == 0 {
+				return
+			}
+			next := (shard + int(val)) % k
+			// The oracle's single clock reads the event's own timestamp,
+			// which equals the shard clock at execution in the sharded run
+			// (RunUntil only parks clocks between events, never before one).
+			at := q.Now() + lookahead + Time(val%5)
+			q.ScheduleArg(at, hop, uint64(next)<<48|(left-1)<<40|val)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < seeds; i++ {
+			shard := rng.Intn(k)
+			val := uint64(rng.Intn(100) + 1)
+			at := Time(rng.Intn(64))
+			q.ScheduleArg(at, hop, uint64(shard)<<48|uint64(hops)<<40|val)
+		}
+		q.Run()
+		return counts
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		want := oracle(k)
+		got := shardTraffic(k, lookahead, seeds, hops)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d shard %d: coordinator accumulated %d, oracle %d", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCoordinatorDeterministic runs the same sharded program repeatedly
+// and across the race detector's goroutine shuffling: per-shard counters
+// must be bit-identical every time.
+func TestCoordinatorDeterministic(t *testing.T) {
+	const lookahead, seeds, hops = 3, 150, 8
+	for _, k := range []int{2, 4} {
+		want := shardTraffic(k, lookahead, seeds, hops)
+		for rep := 0; rep < 5; rep++ {
+			got := shardTraffic(k, lookahead, seeds, hops)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d rep %d shard %d: %d != %d (nondeterministic)", k, rep, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCoordinatorLookaheadViolationPanics checks Send rejects a
+// cross-shard timestamp inside the conservative window — the guard that
+// keeps a mispartitioned machine from silently corrupting the schedule.
+func TestCoordinatorLookaheadViolationPanics(t *testing.T) {
+	c := NewCoordinator(2, 10, 1)
+	c.Shard(0).Advance(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send below source clock + lookahead did not panic")
+		}
+	}()
+	c.Send(0, 1, 105, func(uint64) {}, 0) // needs at >= 110
+}
+
+// TestCoordinatorDrainAccounting checks the sharded drain flushes every
+// shard and inbox without advancing any clock.
+func TestCoordinatorDrainAccounting(t *testing.T) {
+	c := NewCoordinator(4, 5, 1)
+	var counts [4]uint64
+	for i := 0; i < 4; i++ {
+		c.Shard(i).Advance(Time(100 * (i + 1)))
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		add := func(v uint64) { counts[i] += v }
+		for j := 0; j < 50; j++ {
+			c.Shard(i).ScheduleArg(c.Shard(i).Now()+Time(j*11), add, 1)
+		}
+		// One cross-shard retirement per shard, still in an inbox.
+		dst := (i + 1) % 4
+		c.Send(i, dst, c.Shard(i).Now()+5, func(v uint64) { counts[dst] += v }, 100)
+	}
+
+	c.DrainAccounting()
+
+	for i := 0; i < 4; i++ {
+		if got, want := c.Shard(i).Now(), Time(100*(i+1)); got != want {
+			t.Errorf("shard %d: Now() = %d after drain, want %d", i, got, want)
+		}
+		if counts[i] != 50+100 {
+			t.Errorf("shard %d: count = %d, want 150", i, counts[i])
+		}
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", c.Pending())
+	}
+}
+
+// TestCoordinatorSingleShardSelfSend checks the degenerate one-shard
+// kernel still routes Send traffic (including self-sends issued while
+// running) instead of stranding it in the inbox.
+func TestCoordinatorSingleShardSelfSend(t *testing.T) {
+	c := NewCoordinator(1, 2, 1)
+	var total uint64
+	var chain func(arg uint64)
+	chain = func(arg uint64) {
+		total++
+		if arg > 0 {
+			c.Send(0, 0, c.Shard(0).Now()+2, chain, arg-1)
+		}
+	}
+	c.Shard(0).ScheduleArg(0, chain, 9)
+	c.Run()
+	if total != 10 {
+		t.Fatalf("chain executed %d times, want 10", total)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", c.Pending())
+	}
+}

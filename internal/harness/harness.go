@@ -73,6 +73,13 @@ type Options struct {
 	// deterministic harness order (see Collector).
 	Collect *Collector
 
+	// Shards partitions each cell's event kernel across that many mesh
+	// rectangles (see sys.Config.Shards). Reports and artifacts are
+	// byte-identical for every value — retirement accounting is
+	// commutative and shard-owned — so it is purely a throughput knob;
+	// <= 1 keeps the single-shard kernel.
+	Shards int
+
 	// Faults, when non-empty, degrades every cell's simulated machine
 	// (dead banks/links, throttled DRAM; see faults.Spec). Results stay
 	// deterministic for any Jobs value: each cell's system owns its own
@@ -96,6 +103,13 @@ type Options struct {
 
 // DefaultOptions returns the default sizing.
 func DefaultOptions() Options { return Options{Scale: Default, Seed: 1} }
+
+// Validate rejects option values every simulation cell would fail with
+// (an impossible shard count, an out-of-range fault spec), so CLIs can
+// report one named error up front instead of one failure per cell.
+func (o Options) Validate() error {
+	return baseConfig(o, core.DefaultPolicy()).Validate()
+}
 
 // Figure is one regenerated artifact.
 type Figure struct {
@@ -162,6 +176,7 @@ func baseConfig(opt Options, pcfg core.PolicyConfig) sys.Config {
 	cfg.Seed = opt.Seed
 	cfg.Policy = pcfg
 	cfg.Faults = opt.Faults
+	cfg.Shards = opt.Shards
 	return cfg
 }
 

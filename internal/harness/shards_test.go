@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"affinityalloc/internal/faults"
+	"affinityalloc/internal/sys"
+	"affinityalloc/internal/telemetry"
+	"affinityalloc/internal/workloads"
+)
+
+// TestShardedHarnessByteIdentical pins the acceptance gate for kernel
+// sharding end to end: the rendered figure, the metrics document, and
+// the Chrome trace must be byte-identical between -shards=1 and
+// -shards=2/4, at -j1 and -j8, on clean and faulted machines. Sharding
+// only moves commutative retirement adds onto shard-owned kernels, so
+// any diff means an event ran on the wrong shard or a drain raced.
+func TestShardedHarnessByteIdentical(t *testing.T) {
+	render := func(shards, jobs int, spec faults.Spec) (fig, metrics, trace string) {
+		var collect Collector
+		opt := Options{Scale: Tiny, Seed: 1, Jobs: jobs, Shards: shards,
+			Faults: spec, Collect: &collect}
+		f, err := Fig4(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var figBuf bytes.Buffer
+		f.Render(&figBuf)
+		var metricsBuf, traceBuf bytes.Buffer
+		arts := &Artifacts{MetricsOut: &metricsBuf, TraceOut: &traceBuf,
+			Experiment: "fig4", Scale: Tiny, Seed: 1}
+		if err := arts.Write(collect.Cells()); err != nil {
+			t.Fatal(err)
+		}
+		return figBuf.String(), metricsBuf.String(), traceBuf.String()
+	}
+
+	specs := map[string]faults.Spec{
+		"clean":   {},
+		"faulted": {Seed: 1, NDeadBanks: 1, NDeadLinks: 1, DRAM: []faults.DRAMFault{{Chan: 0, LatencyX: 2}}},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			baseFig, baseMetrics, baseTrace := render(1, 1, spec)
+			for _, tc := range []struct{ shards, jobs int }{
+				{2, 1}, {4, 1}, {2, 8}, {4, 8},
+			} {
+				fig, metrics, trace := render(tc.shards, tc.jobs, spec)
+				if fig != baseFig {
+					t.Errorf("shards=%d j=%d: figure diverges from single-shard j1", tc.shards, tc.jobs)
+				}
+				if metrics != baseMetrics {
+					t.Errorf("shards=%d j=%d: metrics document diverges from single-shard j1", tc.shards, tc.jobs)
+				}
+				if trace != baseTrace {
+					t.Errorf("shards=%d j=%d: trace diverges from single-shard j1", tc.shards, tc.jobs)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryBackoffClamped pins the overflow fix in the retry path:
+// RetryBackoff << attempt used to overflow time.Duration at large
+// CellRetries (1s of base backoff goes negative at attempt 34); the
+// delay must instead saturate at maxRetryBackoff for every attempt.
+func TestRetryBackoffClamped(t *testing.T) {
+	cases := []struct {
+		base    time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{0, 5, 0}, // no backoff configured
+		{time.Millisecond, 0, time.Millisecond},
+		{time.Millisecond, 3, 8 * time.Millisecond}, // doubling intact below the cap
+		{time.Second, 4, 16 * time.Second},
+		{time.Second, 5, maxRetryBackoff},   // first clamped step (32s > 30s)
+		{time.Second, 34, maxRetryBackoff},  // would be negative unclamped
+		{time.Second, 200, maxRetryBackoff}, // shift count past the word width
+		{time.Minute, 0, maxRetryBackoff},   // base already above the cap
+	}
+	for _, tc := range cases {
+		if got := retryDelay(tc.base, tc.attempt); got != tc.want {
+			t.Errorf("retryDelay(%v, %d) = %v, want %v", tc.base, tc.attempt, got, tc.want)
+		}
+		if got := retryDelay(tc.base, tc.attempt); got < 0 || got > maxRetryBackoff {
+			t.Errorf("retryDelay(%v, %d) = %v out of [0, %v]", tc.base, tc.attempt, got, maxRetryBackoff)
+		}
+	}
+}
+
+// TestAbandonedTimedOutCellCannotMutateSharedState pins the containment
+// contract for timed-out cells: runCellOnce abandons the goroutine of a
+// cell that exceeds CellTimeout, and when that goroutine eventually
+// completes it must not be able to publish its result anywhere — not
+// the result slice, not Timing, not the Collector — nor wedge or panic
+// on its result send. The test wedges a cell past its timeout, lets the
+// batch finish, then releases the zombie and checks every shared
+// surface still shows only the timeout outcome. Run under -race this
+// also proves the late completion doesn't race the harness teardown.
+func TestAbandonedTimedOutCellCannotMutateSharedState(t *testing.T) {
+	release := make(chan struct{})
+	zombieDone := make(chan struct{})
+	var timing Timing
+	var collect Collector
+	opt := Options{Jobs: 2, CellTimeout: 30 * time.Millisecond,
+		Timing: &timing, Collect: &collect}
+	cells := []cell{
+		{label: "fast", run: func() (workloads.Result, error) {
+			return workloads.Result{Checksum: 1,
+				Metrics: sys.Metrics{Cycles: 7, Detail: &telemetry.Snapshot{}}}, nil
+		}},
+		{label: "wedged", run: func() (workloads.Result, error) {
+			<-release // held past the timeout, completes only when released
+			defer close(zombieDone)
+			return workloads.Result{Checksum: 0xbad,
+				Metrics: sys.Metrics{Cycles: 999, Detail: &telemetry.Snapshot{}}}, nil
+		}},
+	}
+
+	rs, err := runCells(opt, cells)
+	var fails *CellFailures
+	if !errors.As(err, &fails) || len(fails.Cells) != 1 || fails.Cells[0].Label != "wedged" {
+		t.Fatalf("err = %v, want exactly the wedged cell's timeout", err)
+	}
+
+	// The batch is over; now let the abandoned goroutine run to completion
+	// and attempt its (dead-lettered) result send.
+	close(release)
+	<-zombieDone
+	// The zombie's wrapping goroutine still has to deliver its outcome to
+	// the (now dead-lettered, buffered) channel; give it a moment so a
+	// blocking or panicking send would surface here under -race.
+	time.Sleep(20 * time.Millisecond)
+
+	if rs[1] != (workloads.Result{}) {
+		t.Errorf("timed-out slot holds %+v after zombie completion, want the zero value", rs[1])
+	}
+	if rs[0].Checksum != 1 {
+		t.Errorf("sibling result corrupted: %+v", rs[0])
+	}
+	for _, ct := range timing.Cells() {
+		if ct.Label == "wedged" {
+			t.Errorf("zombie published timing %+v after abandonment", ct)
+		}
+	}
+	for _, cc := range collect.Cells() {
+		if cc.Label == "wedged" {
+			t.Errorf("zombie published telemetry %+v after abandonment", cc)
+		}
+	}
+	if got := len(collect.Cells()); got != 1 {
+		t.Errorf("collector holds %d cells, want 1 (the fast sibling)", got)
+	}
+}

@@ -91,13 +91,16 @@ type Network struct {
 	classes    [NumClasses]ClassStats
 	routeCache []topo.Link // scratch buffer reused across sends
 
-	// clock, when attached, turns per-hop link-flit accounting into
+	// clocks, when attached, turn per-hop link-flit accounting into
 	// retirement events: each hop's flit count is applied by a ScheduleArg
 	// event at the hop's departure cycle instead of inline (see
 	// AttachClock). flitFn is the one bound handler built at attach time,
-	// so scheduling allocates nothing.
-	clock  *engine.Sim
-	flitFn func(uint64)
+	// so scheduling allocates nothing. linkSim routes each link's
+	// retirements to the kernel shard that owns the link's source tile, so
+	// parallel shard drains never touch the same linkFlits entry.
+	clocks  *engine.Coordinator
+	linkSim []*engine.Sim
+	flitFn  func(uint64)
 }
 
 // withDefaults fills unset fields. A fully zero Config selects
@@ -152,6 +155,12 @@ func New(mesh *topo.Mesh, cfg Config) *Network {
 // Mesh returns the underlying topology.
 func (n *Network) Mesh() *topo.Mesh { return n.mesh }
 
+// PerHopCycles reports the resolved router+link traversal latency — the
+// minimum cost of any cross-tile hop, and therefore the conservative
+// lookahead bound for kernel sharding: no message can cross a shard
+// boundary in fewer cycles.
+func (n *Network) PerHopCycles() engine.Time { return n.cfg.PerHopCycles }
+
 // Per-hop retirement events pack (link index, flit units) into the
 // ScheduleArg argument. Units occupy the low bits; messages are at most a
 // few flits plus bounded retransmit extras, so 24 bits is generous.
@@ -160,17 +169,32 @@ const flitUnitBits = 24
 // AttachClock defers per-hop link-flit accounting through the event
 // kernel: every hop schedules one allocation-free retirement event at its
 // departure cycle instead of bumping the counter inline. Retirements are
-// commutative adds, so any reader that drains the clock first (all
+// commutative adds, so any reader that drains the clocks first (all
 // accessors here do) observes exactly the inline totals — byte-identical
 // reports — while the hot path sheds the counter's cache traffic onto the
-// kernel's batched drain. Passing nil restores inline accounting.
-func (n *Network) AttachClock(clock *engine.Sim) {
-	n.clock = clock
-	if clock == nil {
-		n.flitFn = nil
+// kernel's batched drain.
+//
+// tileShard assigns each mesh tile (indexed y*W+x) to a kernel shard;
+// each link's retirements are scheduled on the shard owning the link's
+// source tile, so the coordinator's parallel drain updates every
+// linkFlits entry from exactly one goroutine. A nil tileShard puts
+// everything on shard 0; passing a nil coordinator restores inline
+// accounting.
+func (n *Network) AttachClock(clocks *engine.Coordinator, tileShard []int) {
+	n.clocks = clocks
+	if clocks == nil {
+		n.flitFn, n.linkSim = nil, nil
 		return
 	}
 	n.flitFn = n.retireFlits // bind once; ScheduleArg then allocates nothing
+	n.linkSim = make([]*engine.Sim, n.mesh.NumLinks())
+	for idx := range n.linkSim {
+		sh := 0
+		if tileShard != nil {
+			sh = tileShard[idx/4] // LinkIndex packs the source tile in idx/4
+		}
+		n.linkSim[idx] = clocks.Shard(sh)
+	}
 }
 
 // retireFlits applies one hop's deferred flit count.
@@ -181,20 +205,29 @@ func (n *Network) retireFlits(arg uint64) {
 // accountFlits charges units flits to directed link idx at cycle at —
 // deferred through the kernel when a clock is attached, inline otherwise.
 func (n *Network) accountFlits(at engine.Time, idx, units int) {
-	if n.clock == nil {
+	if n.clocks == nil {
 		n.linkFlits[idx] += uint64(units)
 		return
 	}
-	if n.clock.Pending() >= engine.DrainPending {
-		n.clock.Run() // bound the queue; adds commute so early retirement is invisible
+	sim := n.linkSim[idx]
+	if sim.Pending() >= engine.DrainPending || (sim.Pending() > 0 && !sim.InRing(at)) {
+		// Bound the queue and keep the ring window tracking the flit
+		// stream; adds commute so early retirement is invisible.
+		// DrainAccounting (not Run) keeps the shard clock parked — a
+		// mid-run flush must never fast-forward simulated time.
+		sim.DrainAccounting()
 	}
-	n.clock.ScheduleArg(at, n.flitFn, uint64(idx)<<flitUnitBits|uint64(units))
+	if sim.Pending() == 0 {
+		sim.Advance(at)
+	}
+	sim.ScheduleArg(at, n.flitFn, uint64(idx)<<flitUnitBits|uint64(units))
 }
 
-// drain retires pending accounting events before a counter read.
+// drain retires pending accounting events before a counter read, leaving
+// every shard clock where it was.
 func (n *Network) drain() {
-	if n.clock != nil {
-		n.clock.Run()
+	if n.clocks != nil {
+		n.clocks.DrainAccounting()
 	}
 }
 

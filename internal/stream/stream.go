@@ -96,12 +96,21 @@ type Engine struct {
 
 	atomicSampler AtomicSampler
 
-	// clock, when attached, turns op-retirement accounting into events
+	// clocks, when attached, turn op-retirement accounting into events
 	// scheduled at each operation's completion cycle (see AttachClock).
 	// The handlers are bound once so scheduling allocates nothing.
-	clock     *engine.Sim
-	computeFn func(uint64)
-	remoteFn  func(uint64)
+	// bankSim routes each bank's retirements to its owning kernel shard;
+	// the shared ElementsComputed/RemoteOps scalars accumulate into
+	// per-shard delta slots folded in on drain (they must stay deltas:
+	// pointer-chase work also bumps ElementsComputed inline, so the total
+	// cannot be recomputed from the per-bank series).
+	clocks      *engine.Coordinator
+	bankSim     []*engine.Sim
+	bankShard   []int
+	elemDelta   []uint64
+	remoteDelta []uint64
+	computeFn   func(uint64)
+	remoteFn    func(uint64)
 }
 
 // NewEngine builds the shared stream-engine state over a memory system.
@@ -132,38 +141,73 @@ const computeElemBits = 32
 // completion cycle, and each RemoteOp charges the remote-op counters at
 // its retirement cycle, via allocation-free ScheduleArg events. The
 // updates are commutative adds, so readers that drain first (telemetry
-// does) observe exactly the inline totals; passing nil restores inline
-// accounting.
-func (e *Engine) AttachClock(clock *engine.Sim) {
-	e.clock = clock
-	if clock == nil {
+// does) observe exactly the inline totals.
+//
+// bankShard assigns each bank to a kernel shard; a bank's retirements
+// run on its owning shard, so parallel shard drains touch disjoint
+// per-bank counters, and the machine-wide ElementsComputed/RemoteOps
+// scalars accumulate in per-shard delta slots folded in on drain. A nil
+// bankShard puts everything on shard 0; a nil coordinator restores
+// inline accounting.
+func (e *Engine) AttachClock(clocks *engine.Coordinator, bankShard []int) {
+	e.clocks = clocks
+	if clocks == nil {
+		e.bankSim, e.bankShard = nil, nil
+		e.elemDelta, e.remoteDelta = nil, nil
 		e.computeFn, e.remoteFn = nil, nil
 		return
 	}
+	e.bankSim = make([]*engine.Sim, len(e.bankElements))
+	e.bankShard = make([]int, len(e.bankElements))
+	for b := range e.bankSim {
+		if bankShard != nil {
+			e.bankShard[b] = bankShard[b]
+		}
+		e.bankSim[b] = clocks.Shard(e.bankShard[b])
+	}
+	e.elemDelta = make([]uint64, clocks.NumShards())
+	e.remoteDelta = make([]uint64, clocks.NumShards())
 	e.computeFn = func(arg uint64) {
+		bank := arg >> computeElemBits
 		elems := arg & (1<<computeElemBits - 1)
-		e.ElementsComputed += elems
-		e.bankElements[arg>>computeElemBits] += elems
+		e.elemDelta[e.bankShard[bank]] += elems
+		e.bankElements[bank] += elems
 	}
 	e.remoteFn = func(arg uint64) {
-		e.RemoteOps++
+		e.remoteDelta[e.bankShard[arg]]++
 		e.bankRemoteOps[arg]++
 	}
 }
 
-// retire schedules one deferred accounting event, draining first when the
-// queue has grown to its retirement batch bound.
-func (e *Engine) retire(at engine.Time, fn func(uint64), arg uint64) {
-	if e.clock.Pending() >= engine.DrainPending {
-		e.clock.Run()
+// retire schedules one deferred accounting event on the owning shard,
+// draining that shard first when its queue has grown to the retirement
+// batch bound or when the event falls beyond the shard's ring window —
+// flushing and re-anchoring the empty window keeps retirements on the
+// O(1) ring path while completion cycles race ahead of the parked shard
+// clock. DrainAccounting (not Run) keeps the shard clock parked — a
+// mid-run flush must never fast-forward simulated time.
+func (e *Engine) retire(sim *engine.Sim, at engine.Time, fn func(uint64), arg uint64) {
+	if sim.Pending() >= engine.DrainPending || (sim.Pending() > 0 && !sim.InRing(at)) {
+		sim.DrainAccounting()
 	}
-	e.clock.ScheduleArg(at, fn, arg)
+	if sim.Pending() == 0 {
+		sim.Advance(at)
+	}
+	sim.ScheduleArg(at, fn, arg)
 }
 
-// drain retires pending accounting events before a counter read.
+// drain retires pending accounting events before a counter read, leaving
+// every shard clock where it was, and folds the per-shard scalar deltas
+// into the machine-wide totals.
 func (e *Engine) drain() {
-	if e.clock != nil {
-		e.clock.Run()
+	if e.clocks == nil {
+		return
+	}
+	e.clocks.DrainAccounting()
+	for sh := range e.elemDelta {
+		e.ElementsComputed += e.elemDelta[sh]
+		e.RemoteOps += e.remoteDelta[sh]
+		e.elemDelta[sh], e.remoteDelta[sh] = 0, 0
 	}
 }
 
@@ -249,8 +293,8 @@ func (e *Engine) Compute(now engine.Time, bank, elems int) engine.Time {
 	dur := (elems + e.cfg.SIMDLanes - 1) / e.cfg.SIMDLanes
 	start := e.computeSrv[bank].Reserve(now, dur)
 	done := start + e.cfg.ComputeInit + engine.Time(dur)
-	if e.clock != nil {
-		e.retire(done, e.computeFn, uint64(bank)<<computeElemBits|uint64(elems))
+	if e.clocks != nil {
+		e.retire(e.bankSim[bank], done, e.computeFn, uint64(bank)<<computeElemBits|uint64(elems))
 	} else {
 		e.ElementsComputed += uint64(elems)
 		e.bankElements[bank] += uint64(elems)
@@ -278,8 +322,8 @@ func (e *Engine) RemoteOp(now engine.Time, fromBank int, va memsim.Addr, write, 
 	if withResponse && homeBank != fromBank {
 		t = e.net.Send(t, homeBank, fromBank, noc.Control, e.cfg.AckBytes)
 	}
-	if e.clock != nil {
-		e.retire(t, e.remoteFn, uint64(homeBank))
+	if e.clocks != nil {
+		e.retire(e.bankSim[homeBank], t, e.remoteFn, uint64(homeBank))
 	} else {
 		e.RemoteOps++
 		e.bankRemoteOps[homeBank]++

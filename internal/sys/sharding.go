@@ -1,0 +1,57 @@
+package sys
+
+import (
+	"fmt"
+
+	"affinityalloc/internal/topo"
+)
+
+// shardGrid factors a shard count into a kx×ky grid of mesh rectangles,
+// preferring the squarest split (ky is the largest divisor of k at most
+// √k). It errors when the mesh does not divide evenly — uneven shards
+// would make ownership depend on rounding and wreck run-to-run identity
+// across shard counts.
+func shardGrid(k, meshW, meshH int) (kx, ky int, err error) {
+	if k < 1 {
+		return 0, 0, fmt.Errorf("sys: shard count %d: must be at least 1", k)
+	}
+	ky = 1
+	for d := 2; d*d <= k; d++ {
+		if k%d == 0 {
+			ky = d
+		}
+	}
+	// ky is the largest divisor <= sqrt(k) (1 when k is prime).
+	kx = k / ky
+	if meshW%kx != 0 || meshH%ky != 0 {
+		return 0, 0, fmt.Errorf("sys: %d shards factor to a %dx%d grid, which does not evenly split a %dx%d mesh",
+			k, kx, ky, meshW, meshH)
+	}
+	return kx, ky, nil
+}
+
+// shardMap assigns every mesh tile and bank to one of k kernel shards by
+// cutting the mesh into a kx×ky grid of equal rectangles (mesh quadrants
+// when k is 4). tileShard is indexed by y*W+x — the NoC's link-source
+// tile index — and bankShard by bank number, which differs from the tile
+// index under non-row-major numberings: a bank's events belong to the
+// shard that owns its tile's silicon, wherever its number landed.
+func shardMap(mesh *topo.Mesh, k int) (tileShard, bankShard []int, err error) {
+	kx, ky, err := shardGrid(k, mesh.Width(), mesh.Height())
+	if err != nil {
+		return nil, nil, err
+	}
+	w, h := mesh.Width(), mesh.Height()
+	tileShard = make([]int, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			tileShard[y*w+x] = (y*ky/h)*kx + x*kx/w
+		}
+	}
+	bankShard = make([]int, mesh.Banks())
+	for b := range bankShard {
+		c := mesh.CoordOf(b)
+		bankShard[b] = tileShard[c.Y*w+c.X]
+	}
+	return tileShard, bankShard, nil
+}

@@ -1,0 +1,104 @@
+package sys_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"affinityalloc/internal/faults"
+	"affinityalloc/internal/sys"
+	"affinityalloc/internal/workloads"
+)
+
+// TestShardedAccountingMatchesSingle pins the kernel-sharding contract:
+// running a workload with retirements routed across 2 or 4 kernel shards
+// (drained in parallel) must produce a metrics document byte-identical
+// to the single-shard kernel — and to inline accounting, by transitivity
+// with TestDeferredAccountingMatchesInline. Shard ownership partitions
+// every per-tile counter and the shared scalars go through per-shard
+// delta slots, so a divergence here means an event ran on the wrong
+// shard or two shards raced on one counter.
+func TestShardedAccountingMatchesSingle(t *testing.T) {
+	cases := []struct {
+		name string
+		w    workloads.Workload
+		mode sys.Mode
+	}{
+		// Affine (NoC flits + bank/DRAM completions) and pointer (SE
+		// remote ops + migrations) coverage, as in the deferred test.
+		{"vecadd-affalloc", workloads.VecAdd{N: 1 << 14, ForceDelta: -1}, sys.AffAlloc},
+		{"linklist-nearl3", workloads.LinkList{Lists: 16, Nodes: 64, Queries: 1}, sys.NearL3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(shards int) []byte {
+				cfg := sys.DefaultConfig()
+				cfg.Shards = shards
+				res, err := workloads.Run(cfg, tc.w, tc.mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				doc, err := json.Marshal(res.Metrics)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return doc
+			}
+			want := run(1)
+			for _, k := range []int{2, 4} {
+				if got := run(k); string(got) != string(want) {
+					t.Errorf("shards=%d diverges from single-shard kernel:\n%d shards: %.400s\n1 shard:   %.400s", k, k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedFaultedMatchesSingle repeats the identity check on a
+// degraded machine: dead banks redirect SEL3 work, dead links force
+// detours, and a throttled DRAM channel stretches queue cycles — all
+// paths whose accounting must still land on the owning shard.
+func TestShardedFaultedMatchesSingle(t *testing.T) {
+	run := func(shards int) []byte {
+		cfg := sys.DefaultConfig()
+		cfg.Shards = shards
+		cfg.Faults.NDeadBanks = 2
+		cfg.Faults.NDeadLinks = 3
+		cfg.Faults.DRAM = []faults.DRAMFault{{Chan: 1, LatencyX: 2}}
+		cfg.Faults.Seed = 11
+		res, err := workloads.Run(cfg, workloads.VecAdd{N: 1 << 13, ForceDelta: -1}, sys.AffAlloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := json.Marshal(res.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	want := run(1)
+	for _, k := range []int{2, 4} {
+		if got := run(k); string(got) != string(want) {
+			t.Errorf("faulted shards=%d diverges from single-shard kernel:\n%d shards: %.400s\n1 shard:   %.400s", k, k, got, want)
+		}
+	}
+}
+
+// TestShardConfigValidation pins the shard-count validation: counts that
+// cannot cut the mesh into equal rectangles are rejected with an
+// actionable error, legal counts build.
+func TestShardConfigValidation(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 4, 8, 16, 64} {
+		cfg := sys.DefaultConfig() // 8x8 mesh
+		cfg.Shards = k
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Shards=%d on 8x8 mesh rejected: %v", k, err)
+		}
+	}
+	for _, k := range []int{-1, 3, 5, 7} {
+		cfg := sys.DefaultConfig()
+		cfg.Shards = k
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Shards=%d on 8x8 mesh accepted, want error", k)
+		}
+	}
+}
