@@ -8,10 +8,21 @@
 //
 // # Quick start
 //
-//	s := affinityalloc.NewSystem(affinityalloc.DefaultConfig())
+//	s, err := affinityalloc.New(affinityalloc.DefaultConfig())
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	a, _ := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 4, NumElem: 1 << 20})
 //	b, _ := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 4, NumElem: 1 << 20, AlignTo: a.Base})
 //	// a[i] and b[i] now share an L3 bank for every i.
+//
+// New is the canonical constructor: it validates the configuration and
+// returns an error. The deprecated NewSystem wrapper panics instead and
+// remains only for source compatibility.
+//
+// The same allocator is also servable as a long-running daemon speaking
+// a versioned HTTP/JSON API (affinityd/v1); see cmd/affinityd and
+// cmd/affload.
 //
 // Workloads (the paper's Table-3 benchmarks) run under three
 // configurations: InCore (conventional OOO cores), NearL3 (near-stream
@@ -106,7 +117,11 @@ func DefaultPolicy() PolicyConfig { return core.DefaultPolicy() }
 func New(cfg Config) (*System, error) { return sys.New(cfg) }
 
 // NewSystem builds a simulated system, panicking on an invalid
-// configuration. Use New for an error return.
+// configuration.
+//
+// Deprecated: use New, which validates the configuration and returns an
+// error instead of panicking. NewSystem remains for source
+// compatibility only.
 func NewSystem(cfg Config) *System { return sys.MustNew(cfg) }
 
 // RunWorkload builds a fresh system from cfg and runs w under mode.

@@ -8,7 +8,10 @@ import (
 )
 
 func TestPublicAllocatorAPI(t *testing.T) {
-	s := affinityalloc.NewSystem(affinityalloc.DefaultConfig())
+	s, err := affinityalloc.New(affinityalloc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	a, err := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 4, NumElem: 1 << 12})
 	if err != nil {
@@ -78,11 +81,11 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 }
 
-// ExampleNewSystem demonstrates the Fig-8 inter-array alignment: the
+// ExampleNew demonstrates the Fig-8 inter-array alignment: the
 // runtime chooses a doubled interleaving for the double-width array so
 // element i of every array shares a bank.
-func ExampleNewSystem() {
-	s := affinityalloc.NewSystem(affinityalloc.DefaultConfig())
+func ExampleNew() {
+	s, _ := affinityalloc.New(affinityalloc.DefaultConfig())
 	a, _ := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 4, NumElem: 1 << 12})
 	c, _ := s.RT.AllocAffine(affinityalloc.AffineSpec{ElemSize: 8, NumElem: 1 << 12, AlignTo: a.Base})
 	fmt.Println("A interleave:", a.Interleave)

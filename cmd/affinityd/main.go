@@ -1,0 +1,117 @@
+// Command affinityd serves affinity allocation as a long-running
+// placement service: tenants register simulated machine topologies over
+// the affinityd/v1 HTTP/JSON API, open interleave pools, and submit
+// batched allocation requests carrying affinity hint graphs, receiving
+// simulated base addresses and bank placements back. cmd/affload is the
+// matching load generator.
+//
+// Usage:
+//
+//	affinityd [-addr 127.0.0.1:7077] [-seed N] [-policy hybrid5]
+//	          [-faults dead-banks=2] [-metrics-out m.json] [-pprof cpu.prof]
+//
+// The -seed/-policy/-faults flags are fleet defaults: a registration
+// whose MachineSpec leaves those fields zero inherits them, so a whole
+// load run can be degraded (-faults) or re-seeded from the server side.
+//
+// Endpoints: GET /healthz, GET /metricsz (schema-validated metrics
+// document with p50/p99 placement-latency histograms), POST
+// /v1/machines, GET/DELETE /v1/machines/{id}, POST
+// /v1/machines/{id}/pools, POST /v1/machines/{id}/alloc, POST
+// /v1/machines/{id}/free.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests drain, machine workers stop, and -metrics-out (when set)
+// receives the final metrics document.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"affinityalloc/internal/affinityd"
+	"affinityalloc/internal/cliconf"
+)
+
+func main() {
+	cc := cliconf.Register(flag.CommandLine,
+		cliconf.FlagSeed|cliconf.FlagPolicy|cliconf.FlagFaults|cliconf.FlagMetricsOut|cliconf.FlagPprof)
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address (host:port; port 0 picks a free port)")
+	flag.Parse()
+
+	if err := run(cc, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "affinityd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cc *cliconf.Config, addr string) error {
+	// Validate the fleet defaults up front so a bad -policy/-faults is
+	// one named startup error, not a failure on every registration.
+	if _, err := cc.Policy(); err != nil {
+		return err
+	}
+	if _, err := cc.Faults(); err != nil {
+		return err
+	}
+	stopProf, err := cc.StartProfile()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	srv := affinityd.NewServer(affinityd.Options{Defaults: affinityd.MachineSpec{
+		Seed:   cc.Seed,
+		Policy: cc.PolicyStr,
+		Faults: cc.FaultsStr,
+	}})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout so scripts driving "-addr
+	// host:0" can discover the port.
+	fmt.Printf("affinityd: listening on %s (%s)\n", ln.Addr(), affinityd.APIVersion)
+
+	hs := &http.Server{Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "affinityd: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- hs.Shutdown(sctx)
+	}()
+
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	if err := <-shutdownDone; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Close()
+
+	if cc.MetricsOut != "" {
+		f, err := os.Create(cc.MetricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := srv.MetricsDocument().WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("affinityd: served %d requests, goodbye\n", srv.Requests())
+	return nil
+}

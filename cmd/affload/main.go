@@ -1,0 +1,218 @@
+// Command affload hammers a running affinityd with concurrent tenant
+// streams of mixed alloc/free placement traffic and reports a
+// latency/throughput table.
+//
+// Usage:
+//
+//	affload -addr http://127.0.0.1:7077 [-streams 4] [-ops 512]
+//	        [-batch 16] [-seed N]
+//
+// Each stream registers its own machine (tenant isolation) and drives a
+// seeded, deterministic request sequence — the same -seed always sends
+// the same placements, so runs are reproducible and comparable. The
+// summary's p50/p99 placement latency is sourced from the server's
+// internal/telemetry histogram via /metricsz, not measured client-side;
+// the per-stream columns are client-observed wire latencies.
+//
+// affload exits non-zero if no placement succeeded, so it doubles as a
+// service smoke gate in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"affinityalloc/internal/affinityd"
+	"affinityalloc/internal/cliconf"
+	"affinityalloc/internal/stats"
+	"affinityalloc/internal/telemetry"
+)
+
+func main() {
+	cc := cliconf.Register(flag.CommandLine, cliconf.FlagSeed)
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:7077", "affinityd base URL")
+		streams = flag.Int("streams", 4, "concurrent tenant streams (one machine each)")
+		ops     = flag.Int("ops", 512, "allocation requests per stream")
+		batch   = flag.Int("batch", 16, "allocation requests per wire batch")
+		keep    = flag.Bool("keep", false, "leave the tenant machines registered after the run")
+	)
+	flag.Parse()
+
+	if err := run(cc.Seed, *addr, *streams, *ops, *batch, *keep); err != nil {
+		fmt.Fprintln(os.Stderr, "affload:", err)
+		os.Exit(1)
+	}
+}
+
+// streamStats is one tenant stream's outcome.
+type streamStats struct {
+	machineID string
+	batches   int
+	allocs    int
+	frees     int
+	errors    int
+	wall      time.Duration
+	lat       telemetry.Hist // client-observed wire latency per batch, ns
+	err       error
+}
+
+func run(seed int64, addr string, streams, ops, batchSize int, keep bool) error {
+	if streams < 1 || ops < 1 || batchSize < 1 {
+		return fmt.Errorf("want -streams/-ops/-batch >= 1, got %d/%d/%d", streams, ops, batchSize)
+	}
+	client := affinityd.NewClient(addr)
+	if !client.Healthy() {
+		return fmt.Errorf("no affinityd answering at %s (is it running?)", addr)
+	}
+
+	all := make([]streamStats, streams)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			driveStream(client, &all[stream], seed, stream, ops, batchSize)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// The headline latency numbers come from the server's telemetry
+	// histogram, scraped once after the run.
+	doc, derr := client.Metrics()
+
+	if !keep {
+		for i := range all {
+			if all[i].machineID != "" {
+				if err := client.Deregister(all[i].machineID); err != nil {
+					fmt.Fprintln(os.Stderr, "affload: deregister:", err)
+				}
+			}
+		}
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("affload: %d streams x %d ops (batch %d, seed %d) against %s", streams, ops, batchSize, seed, addr),
+		"stream", "machine", "batches", "allocs", "frees", "errors", "wall", "req/s", "wire.p50", "wire.p99")
+	totalAllocs, totalFrees, totalErrors := 0, 0, 0
+	for i := range all {
+		st := &all[i]
+		if st.err != nil {
+			tbl.AddRow(i, "FAILED", "-", "-", "-", "-", "-", "-", "-", "-")
+			fmt.Fprintf(os.Stderr, "affload: stream %d: %v\n", i, st.err)
+			continue
+		}
+		totalAllocs += st.allocs
+		totalFrees += st.frees
+		totalErrors += st.errors
+		reqs := float64(st.allocs + st.frees)
+		tbl.AddRow(i, st.machineID, st.batches, st.allocs, st.frees, st.errors,
+			fmt.Sprintf("%.2fs", st.wall.Seconds()),
+			fmt.Sprintf("%.0f", reqs/st.wall.Seconds()),
+			dur(st.lat.Quantile(0.50)), dur(st.lat.Quantile(0.99)))
+	}
+	tbl.Render(os.Stdout)
+
+	fmt.Printf("\ntotal: %d successful placements, %d frees, %d request errors in %.2fs (%.0f placements/s)\n",
+		totalAllocs, totalFrees, totalErrors, wall.Seconds(), float64(totalAllocs)/wall.Seconds())
+	if derr != nil {
+		fmt.Fprintln(os.Stderr, "affload: metrics scrape failed:", derr)
+	} else if line, ok := serverLatencyLine(doc); ok {
+		fmt.Println(line)
+	}
+
+	if totalAllocs == 0 {
+		return fmt.Errorf("no placement succeeded")
+	}
+	return nil
+}
+
+// driveStream runs one tenant: register a machine, push the seeded
+// stream in batches, count outcomes into st.
+func driveStream(client *affinityd.Client, st *streamStats, seed int64, stream, ops, batchSize int) {
+	reg, err := client.Register(affinityd.MachineSpec{Seed: seed + int64(stream)})
+	if err != nil {
+		st.err = err
+		return
+	}
+	st.machineID = reg.MachineID
+	gen := affinityd.NewStreamGen(seed, stream)
+	start := time.Now()
+	for sent := 0; sent < ops; {
+		n := min(batchSize, ops-sent)
+		step := gen.NextStep(n)
+		sent += n
+
+		t0 := time.Now()
+		resp, err := client.Alloc(reg.MachineID, step.Allocs)
+		st.lat.Observe(uint64(time.Since(t0)))
+		if err != nil {
+			st.err = err
+			return
+		}
+		st.batches++
+		for _, p := range resp.Placements {
+			if p.Error != "" {
+				st.errors++
+			} else {
+				st.allocs++
+			}
+		}
+		if len(step.Frees) > 0 {
+			t0 := time.Now()
+			fresp, err := client.Free(reg.MachineID, step.Frees)
+			st.lat.Observe(uint64(time.Since(t0)))
+			if err != nil {
+				st.err = err
+				return
+			}
+			for _, r := range fresp.Results {
+				if r.Error != "" {
+					st.errors++
+				} else {
+					st.frees++
+				}
+			}
+		}
+	}
+	st.wall = time.Since(start)
+}
+
+// serverLatencyLine derives the p50/p99 placement latency from the
+// server's published histogram series — the telemetry-sourced numbers
+// the run is judged by.
+func serverLatencyLine(doc *telemetry.Document) (string, bool) {
+	for _, c := range doc.Cells {
+		if c.Label != "affinityd" {
+			continue
+		}
+		counts, ok := c.Series["placement_latency_ns"]
+		if !ok {
+			return "", false
+		}
+		n := c.Scalars["placement_latency_ns_total"]
+		return fmt.Sprintf("placement latency (server, internal/telemetry): p50=%s p99=%s over %d placements",
+			dur(telemetry.HistQuantile(counts, 0.50)), dur(telemetry.HistQuantile(counts, 0.99)), n), true
+	}
+	return "", false
+}
+
+// dur renders nanoseconds compactly.
+func dur(ns uint64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

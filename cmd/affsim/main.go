@@ -27,12 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"strings"
 	"time"
 
-	"affinityalloc/internal/core"
-	"affinityalloc/internal/faults"
+	"affinityalloc/internal/cliconf"
 	"affinityalloc/internal/harness"
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/sys"
@@ -41,60 +39,33 @@ import (
 )
 
 func main() {
+	cc := cliconf.Register(flag.CommandLine,
+		cliconf.HarnessFlags|cliconf.ArtifactFlags|cliconf.FlagPolicy)
 	var (
-		list      = flag.Bool("list", false, "list experiments and workloads")
-		exp       = flag.String("exp", "", "experiment id to regenerate (fig4, fig6, fig12, ...)")
-		all       = flag.Bool("all", false, "regenerate every experiment")
-		workload  = flag.String("workload", "", "workload to run under all three configurations")
-		scaleStr  = flag.String("scale", "default", "experiment scale: tiny|default|paper")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		jobs      = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
-		shards    = flag.Int("shards", 1, "event-kernel shards per cell (mesh rectangles; output is byte-identical for every value)")
-		timing    = flag.Bool("timing", false, "report per-cell wall time and sim-cycles/s on stderr")
-		policy    = flag.String("policy", "hybrid5", "bank policy: rnd|lnr|minhop|hybrid1|hybrid3|hybrid5|hybrid7")
-		modeStr   = flag.String("mode", "all", "with -workload: run one configuration (incore|nearl3|affalloc) or all")
-		metrics   = flag.String("metrics-out", "", "write per-cell telemetry as a metrics JSON document")
-		trace     = flag.String("trace-out", "", "write sim-time phases as a Chrome trace_event JSON timeline")
-		pprofOut  = flag.String("pprof", "", "write a CPU profile of the simulator itself")
-		validate  = flag.String("validate-metrics", "", "parse and schema-check a metrics JSON document, then exit")
-		faultsStr = flag.String("faults", "", "degrade the machine, e.g. dead-banks=2,dead-link=3>4,drop-link=0>1:0.05,dram-slow=0:2 (see faults.Parse)")
+		list     = flag.Bool("list", false, "list experiments and workloads")
+		exp      = flag.String("exp", "", "experiment id to regenerate (fig4, fig6, fig12, ...)")
+		all      = flag.Bool("all", false, "regenerate every experiment")
+		workload = flag.String("workload", "", "workload to run under all three configurations")
+		modeStr  = flag.String("mode", "all", "with -workload: run one configuration (incore|nearl3|affalloc) or all")
+		validate = flag.String("validate-metrics", "", "parse and schema-check a metrics JSON document, then exit")
 	)
 	flag.Parse()
 
-	if *pprofOut != "" {
-		f, err := os.Create(*pprofOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProf, err := cc.StartProfile()
+	if err != nil {
+		fatal(err)
 	}
+	defer stopProf()
 
-	if err := run(*list, *exp, *all, *workload, *scaleStr, *seed, *jobs, *shards, *timing,
-		*policy, *modeStr, *metrics, *trace, *validate, *faultsStr); err != nil {
-		pprof.StopCPUProfile()
+	if err := run(cc, *list, *exp, *all, *workload, *modeStr, *validate); err != nil {
+		stopProf()
 		fatal(err)
 	}
 }
 
-func run(list bool, exp string, all bool, workload, scaleStr string, seed int64, jobs, shards int,
-	timing bool, policy, modeStr, metricsPath, tracePath, validatePath, faultsStr string) error {
-	scale, err := harness.ParseScale(scaleStr)
+func run(cc *cliconf.Config, list bool, exp string, all bool, workload, modeStr, validatePath string) error {
+	opt, err := cc.Options()
 	if err != nil {
-		return err
-	}
-	spec, err := faults.Parse(faultsStr)
-	if err != nil {
-		return err
-	}
-	opt := harness.Options{Scale: scale, Seed: seed, Jobs: jobs, Shards: shards, Faults: spec}
-	if err := opt.Validate(); err != nil {
 		return err
 	}
 
@@ -112,16 +83,16 @@ func run(list bool, exp string, all bool, workload, scaleStr string, seed int64,
 		}
 		return nil
 	case all:
-		arts, closeArts, err := openArtifacts(metricsPath, tracePath, "all", scale, seed)
+		arts, closeArts, err := cc.Artifacts("all", opt.Scale)
 		if err != nil {
 			return err
 		}
 		defer closeArts()
-		return harness.RunAll(opt, os.Stdout, nil, os.Stderr, timing, arts)
+		return harness.RunAll(opt, os.Stdout, nil, os.Stderr, cc.Timing, arts)
 	case exp != "":
-		return runExperiment(opt, exp, timing, metricsPath, tracePath)
+		return runExperiment(cc, opt, exp)
 	case workload != "":
-		return runWorkload(opt, workload, policy, modeStr, metricsPath, tracePath)
+		return runWorkload(cc, opt, workload, modeStr)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -156,52 +127,12 @@ func validateMetrics(path string) error {
 	return nil
 }
 
-// openArtifacts builds the harness artifact request from the -metrics-out
-// and -trace-out flags; the returned closer flushes both files.
-func openArtifacts(metricsPath, tracePath, experiment string, scale harness.Scale, seed int64) (*harness.Artifacts, func(), error) {
-	if metricsPath == "" && tracePath == "" {
-		return nil, func() {}, nil
-	}
-	arts := &harness.Artifacts{Experiment: experiment, Scale: scale, Seed: seed}
-	var files []*os.File
-	open := func(path string) (*os.File, error) {
-		f, err := os.Create(path)
-		if err != nil {
-			for _, g := range files {
-				g.Close()
-			}
-			return nil, err
-		}
-		files = append(files, f)
-		return f, nil
-	}
-	if metricsPath != "" {
-		f, err := open(metricsPath)
-		if err != nil {
-			return nil, nil, err
-		}
-		arts.MetricsOut = f
-	}
-	if tracePath != "" {
-		f, err := open(tracePath)
-		if err != nil {
-			return nil, nil, err
-		}
-		arts.TraceOut = f
-	}
-	return arts, func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}, nil
-}
-
-func runExperiment(opt harness.Options, exp string, timing bool, metricsPath, tracePath string) error {
+func runExperiment(cc *cliconf.Config, opt harness.Options, exp string) error {
 	e, ok := harness.Lookup(exp)
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (try -list)", exp)
 	}
-	arts, closeArts, err := openArtifacts(metricsPath, tracePath, e.ID, opt.Scale, opt.Seed)
+	arts, closeArts, err := cc.Artifacts(e.ID, opt.Scale)
 	if err != nil {
 		return err
 	}
@@ -225,7 +156,7 @@ func runExperiment(opt harness.Options, exp string, timing bool, metricsPath, tr
 			return err
 		}
 	}
-	if timing {
+	if cc.Timing {
 		opt.Timing.Report(os.Stderr)
 		n, cellWall, sim := opt.Timing.Summary()
 		fmt.Fprintf(os.Stderr, "%s: %d cells, wall %.2fs (cellsum %.2fs), sim %d cyc, %.1f Mcyc/s\n",
@@ -237,26 +168,6 @@ func runExperiment(opt harness.Options, exp string, timing bool, metricsPath, tr
 
 func workloadSet(opt harness.Options) []workloads.Workload {
 	return harness.AllWorkloads(opt)
-}
-
-func parsePolicy(v string) (core.PolicyConfig, error) {
-	switch strings.ToLower(v) {
-	case "rnd":
-		return core.PolicyConfig{Policy: core.Rnd}, nil
-	case "lnr":
-		return core.PolicyConfig{Policy: core.Lnr}, nil
-	case "minhop":
-		return core.PolicyConfig{Policy: core.MinHop}, nil
-	case "hybrid1":
-		return core.PolicyConfig{Policy: core.Hybrid, H: 1}, nil
-	case "hybrid3":
-		return core.PolicyConfig{Policy: core.Hybrid, H: 3}, nil
-	case "hybrid5", "":
-		return core.PolicyConfig{Policy: core.Hybrid, H: 5}, nil
-	case "hybrid7":
-		return core.PolicyConfig{Policy: core.Hybrid, H: 7}, nil
-	}
-	return core.PolicyConfig{}, fmt.Errorf("unknown policy %q", v)
 }
 
 // parseModes resolves the -mode flag: "all" (or empty) selects the three
@@ -272,8 +183,8 @@ func parseModes(v string) ([]sys.Mode, error) {
 	return []sys.Mode{m}, nil
 }
 
-func runWorkload(opt harness.Options, name, policyStr, modeStr, metricsPath, tracePath string) error {
-	pcfg, err := parsePolicy(policyStr)
+func runWorkload(cc *cliconf.Config, opt harness.Options, name, modeStr string) error {
+	pcfg, err := cc.Policy()
 	if err != nil {
 		return err
 	}
@@ -291,7 +202,7 @@ func runWorkload(opt harness.Options, name, policyStr, modeStr, metricsPath, tra
 	if w == nil {
 		return fmt.Errorf("unknown workload %q (try -list)", name)
 	}
-	arts, closeArts, err := openArtifacts(metricsPath, tracePath, "workload/"+name, opt.Scale, opt.Seed)
+	arts, closeArts, err := cc.Artifacts("workload/"+name, opt.Scale)
 	if err != nil {
 		return err
 	}

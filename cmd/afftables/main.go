@@ -25,68 +25,37 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime/pprof"
 	"strings"
 
-	"affinityalloc/internal/faults"
+	"affinityalloc/internal/cliconf"
 	"affinityalloc/internal/harness"
 )
 
 func main() {
+	cc := cliconf.Register(flag.CommandLine, cliconf.HarnessFlags|cliconf.ArtifactFlags)
 	var (
-		scaleStr  = flag.String("scale", "default", "experiment scale: tiny|default|paper")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		jobs      = flag.Int("j", 0, "concurrent simulation cells (default GOMAXPROCS)")
-		shards    = flag.Int("shards", 1, "event-kernel shards per cell (mesh rectangles; output is byte-identical for every value)")
-		timing    = flag.Bool("timing", false, "also report per-cell wall time and sim-cycles/s on stderr")
-		outPath   = flag.String("o", "", "output file (default stdout)")
-		only      = flag.String("only", "", "comma-separated experiment ids (default all)")
-		metrics   = flag.String("metrics-out", "", "write per-cell telemetry as a metrics JSON document")
-		trace     = flag.String("trace-out", "", "write sim-time phases as a Chrome trace_event JSON timeline")
-		pprofOut  = flag.String("pprof", "", "write a CPU profile of the simulator itself")
-		faultsStr = flag.String("faults", "", "degrade the machine for every experiment, e.g. dead-banks=2,dead-link=3>4 (see faults.Parse)")
-		sweep     = flag.Bool("faults-sweep", false, "render the degraded-substrate sweep (dead banks/links x allocation modes) instead of the report")
+		outPath = flag.String("o", "", "output file (default stdout)")
+		only    = flag.String("only", "", "comma-separated experiment ids (default all)")
+		sweep   = flag.Bool("faults-sweep", false, "render the degraded-substrate sweep (dead banks/links x allocation modes) instead of the report")
 	)
 	flag.Parse()
 
-	scale, err := harness.ParseScale(*scaleStr)
+	opt, err := cc.Options()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "afftables:", err)
-		os.Exit(1)
-	}
-	spec, err := faults.Parse(*faultsStr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "afftables:", err)
-		os.Exit(1)
-	}
-	opt := harness.Options{Scale: scale, Seed: *seed, Jobs: *jobs, Shards: *shards, Faults: spec}
-	if err := opt.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "afftables:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	if *pprofOut != "" {
-		f, err := os.Create(*pprofOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "afftables:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "afftables:", err)
-			os.Exit(1)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProf, err := cc.StartProfile()
+	if err != nil {
+		fatal(err)
 	}
+	defer stopProf()
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "afftables:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		out = f
@@ -99,35 +68,15 @@ func main() {
 		}
 	}
 
-	var arts *harness.Artifacts
-	var artFiles []*os.File
-	if *metrics != "" || *trace != "" {
-		exp := "all"
-		if *only != "" {
-			exp = *only
-		}
-		arts = &harness.Artifacts{Experiment: exp, Scale: scale, Seed: *seed}
-		openArt := func(path string) *os.File {
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "afftables:", err)
-				os.Exit(1)
-			}
-			artFiles = append(artFiles, f)
-			return f
-		}
-		if *metrics != "" {
-			arts.MetricsOut = openArt(*metrics)
-		}
-		if *trace != "" {
-			arts.TraceOut = openArt(*trace)
-		}
+	exp := "all"
+	if *only != "" {
+		exp = *only
 	}
-	defer func() {
-		for _, f := range artFiles {
-			f.Close()
-		}
-	}()
+	arts, closeArts, err := cc.Artifacts(exp, opt.Scale)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeArts()
 
 	if *sweep {
 		// The sweep tolerates per-cell failures: the table renders with
@@ -143,11 +92,16 @@ func main() {
 		return
 	}
 
-	fmt.Fprintf(out, "# Affinity Alloc — regenerated evaluation (scale=%v, seed=%d)\n\n", scale, *seed)
-	if err := harness.RunAll(opt, out, want, os.Stderr, *timing, arts); err != nil {
+	fmt.Fprintf(out, "# Affinity Alloc — regenerated evaluation (scale=%v, seed=%d)\n\n", opt.Scale, cc.Seed)
+	if err := harness.RunAll(opt, out, want, os.Stderr, cc.Timing, arts); err != nil {
 		failSummary(err)
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "afftables:", err)
+	os.Exit(1)
 }
 
 // failSummary writes a one-line failure summary: for cell failures, which

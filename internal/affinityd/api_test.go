@@ -1,0 +1,182 @@
+package affinityd
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWireRoundTrip pins that every wire type survives a JSON
+// marshal/unmarshal unchanged — the compatibility contract of
+// affinityd/v1.
+func TestWireRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		v    any
+	}{
+		{"register_request", &RegisterRequest{Machine: MachineSpec{
+			MeshW: 4, MeshH: 4, Seed: 42, Policy: "hybrid5", Faults: "dead-banks=2",
+		}}},
+		{"register_response", &RegisterResponse{
+			Version: APIVersion, MachineID: "m000001", MeshW: 8, MeshH: 8, Banks: 64, DeadBanks: []int{3, 17},
+		}},
+		{"open_pool", &OpenPoolResponse{
+			Version: APIVersion, MachineID: "m000001",
+			Pool: PoolInfo{Interleave: 64, Start: 1 << 40, Allocs: 9, Frees: 2, Bytes: 1 << 20},
+		}},
+		{"alloc_affine", &BatchAllocRequest{Requests: []AllocRequest{{
+			ID: "a", ElemSize: 4, NumElem: 1 << 12, BankProbe: []int64{0, 100},
+		}, {
+			ID: "b", ElemSize: 8, NumElem: 1 << 12, AlignTo: "a", AlignP: 1, AlignQ: 2, AlignX: 256, Partition: true,
+		}}}},
+		{"alloc_near", &BatchAllocRequest{Requests: []AllocRequest{{
+			ID: "n", Kind: KindNear, Size: 64,
+			Affinity: []ElemRef{{Ref: "a", Elem: 500}, {Ref: "b", Elem: 7}},
+		}}}},
+		{"alloc_baseline", &BatchAllocRequest{Requests: []AllocRequest{{
+			ID: "h", Mode: "In-Core", ElemSize: 4, NumElem: 1024,
+		}}}},
+		{"placements", &BatchAllocResponse{
+			Version: APIVersion, MachineID: "m000001",
+			Placements: []Placement{
+				{ID: "a", Base: 1 << 40, ElemSize: 4, ElemStride: 4, NumElem: 1 << 12, Interleave: 64, StartBank: 5, Banks: []int{5, 9}},
+				{ID: "bad", Error: "id \"bad\" is already a live allocation"},
+			},
+		}},
+		{"free", &FreeResponse{
+			Version: APIVersion, MachineID: "m000001",
+			Results: []FreeResult{{ID: "a"}, {ID: "x", Error: "id \"x\" is not a live allocation"}},
+		}},
+		{"machine_info", &MachineInfoResponse{
+			Version: APIVersion, MachineID: "m000001",
+			Machine: MachineSpec{Seed: 42}, Banks: 64, LiveHandles: 3,
+			Allocs: 10, Frees: 7, AllocErrors: 1,
+			Pools: []PoolInfo{{Interleave: 64, Start: 1 << 40, Allocs: 10, Frees: 7, Bytes: 4096}},
+		}},
+		{"error", &ErrorResponse{Error: "unknown machine \"m999999\""}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data, err := json.Marshal(c.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := reflect.New(reflect.TypeOf(c.v).Elem()).Interface()
+			if err := json.Unmarshal(data, got); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(c.v, got) {
+				t.Errorf("round trip changed the value:\n sent %+v\n got  %+v", c.v, got)
+			}
+		})
+	}
+}
+
+// TestWireFieldNamesAreSnakeCase pins the JSON naming convention for
+// every exported field of every wire type.
+func TestWireFieldNamesAreSnakeCase(t *testing.T) {
+	for _, typ := range wireTypes() {
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			name, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+			if name == "" {
+				t.Errorf("%s.%s has no json tag", typ.Name(), f.Name)
+				continue
+			}
+			if strings.ToLower(name) != name {
+				t.Errorf("%s.%s json name %q is not snake_case", typ.Name(), f.Name, name)
+			}
+		}
+	}
+}
+
+// TestSchemaGolden renders the whole affinityd/v1 wire surface — every
+// type, field, JSON name and Go type — and compares it against the
+// committed schema document. A diff means the wire API changed: if the
+// change is compatible (field additions), re-bless with -update; if it
+// renames or removes fields, bump APIVersion instead.
+func TestSchemaGolden(t *testing.T) {
+	got := describeSchema()
+	path := filepath.Join("testdata", "schema_v1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden schema)", err)
+	}
+	if got != string(want) {
+		t.Errorf("wire schema drifted from %s.\nIf the change is intentional and compatible, re-bless with -update; otherwise bump APIVersion.\ngot:\n%s", path, got)
+	}
+}
+
+// wireTypes lists every affinityd/v1 wire struct in a fixed order.
+func wireTypes() []reflect.Type {
+	return []reflect.Type{
+		reflect.TypeOf(MachineSpec{}),
+		reflect.TypeOf(RegisterRequest{}),
+		reflect.TypeOf(RegisterResponse{}),
+		reflect.TypeOf(OpenPoolRequest{}),
+		reflect.TypeOf(PoolInfo{}),
+		reflect.TypeOf(OpenPoolResponse{}),
+		reflect.TypeOf(ElemRef{}),
+		reflect.TypeOf(AllocRequest{}),
+		reflect.TypeOf(BatchAllocRequest{}),
+		reflect.TypeOf(Placement{}),
+		reflect.TypeOf(BatchAllocResponse{}),
+		reflect.TypeOf(FreeRequest{}),
+		reflect.TypeOf(FreeResult{}),
+		reflect.TypeOf(FreeResponse{}),
+		reflect.TypeOf(MachineInfoResponse{}),
+		reflect.TypeOf(ErrorResponse{}),
+	}
+}
+
+func describeSchema() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s wire schema\n", APIVersion)
+	fmt.Fprintf(&b, "# Generated by TestSchemaGolden (go test ./internal/affinityd -run TestSchemaGolden -update).\n")
+	fmt.Fprintf(&b, "# Field additions are compatible; renames and removals require an APIVersion bump.\n")
+	fmt.Fprintf(&b, "\nkinds: %s, %s\n", KindAffine, KindNear)
+	routes := []string{
+		"GET /healthz",
+		"GET /metricsz",
+		"POST /v1/machines",
+		"GET /v1/machines/{id}",
+		"DELETE /v1/machines/{id}",
+		"POST /v1/machines/{id}/pools",
+		"POST /v1/machines/{id}/alloc",
+		"POST /v1/machines/{id}/free",
+	}
+	sort.Strings(routes)
+	b.WriteString("\nroutes:\n")
+	for _, r := range routes {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	for _, typ := range wireTypes() {
+		fmt.Fprintf(&b, "\n%s:\n", typ.Name())
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			name, rest, _ := strings.Cut(f.Tag.Get("json"), ",")
+			opt := ""
+			if strings.Contains(rest, "omitempty") {
+				opt = " (omitempty)"
+			}
+			fmt.Fprintf(&b, "  %-14s %s%s\n", name, f.Type.String(), opt)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package affinityd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"affinityalloc/internal/telemetry"
+)
+
+// Client speaks the affinityd/v1 wire API. It is safe for concurrent
+// use; each method is one HTTP round trip.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a server base URL (e.g.
+// "http://127.0.0.1:7077").
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Register opens a machine.
+func (c *Client) Register(spec MachineSpec) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.do("POST", "/v1/machines", RegisterRequest{Machine: spec}, &resp)
+	return resp, err
+}
+
+// Deregister tears a machine down.
+func (c *Client) Deregister(machineID string) error {
+	return c.do("DELETE", "/v1/machines/"+machineID, nil, nil)
+}
+
+// MachineInfo fetches a machine's serving state.
+func (c *Client) MachineInfo(machineID string) (MachineInfoResponse, error) {
+	var resp MachineInfoResponse
+	err := c.do("GET", "/v1/machines/"+machineID, nil, &resp)
+	return resp, err
+}
+
+// OpenPool pre-opens an interleave pool.
+func (c *Client) OpenPool(machineID string, interleave int) (OpenPoolResponse, error) {
+	var resp OpenPoolResponse
+	err := c.do("POST", "/v1/machines/"+machineID+"/pools", OpenPoolRequest{Interleave: interleave}, &resp)
+	return resp, err
+}
+
+// Alloc submits a batch of allocation requests.
+func (c *Client) Alloc(machineID string, reqs []AllocRequest) (BatchAllocResponse, error) {
+	var resp BatchAllocResponse
+	err := c.do("POST", "/v1/machines/"+machineID+"/alloc", BatchAllocRequest{Requests: reqs}, &resp)
+	return resp, err
+}
+
+// Free releases allocations by ID.
+func (c *Client) Free(machineID string, ids []string) (FreeResponse, error) {
+	var resp FreeResponse
+	err := c.do("POST", "/v1/machines/"+machineID+"/free", FreeRequest{IDs: ids}, &resp)
+	return resp, err
+}
+
+// Metrics fetches and validates the server's metrics document.
+func (c *Client) Metrics() (*telemetry.Document, error) {
+	req, err := http.NewRequest("GET", c.base+"/metricsz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("affinityd: GET /metricsz: %s", resp.Status)
+	}
+	return telemetry.ParseDocument(data)
+}
+
+// Healthy reports whether the server answers /healthz.
+func (c *Client) Healthy() bool {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("affinityd: %s %s: %s (%s)", method, path, e.Error, resp.Status)
+		}
+		return fmt.Errorf("affinityd: %s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

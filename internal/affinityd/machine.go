@@ -1,0 +1,495 @@
+package affinityd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/memsim"
+	"affinityalloc/internal/sys"
+	"affinityalloc/internal/telemetry"
+)
+
+// errMachineClosed is returned for submissions racing a machine
+// teardown (DELETE or server shutdown).
+var errMachineClosed = errors.New("affinityd: machine closed")
+
+// poolDomain is the serving-side bookkeeping of one interleave pool.
+// Each pool is its own lock domain: an allocation touches only the
+// domain of the pool its placement landed in, so traffic across pools
+// never contends, and metric scrapes lock one pool at a time.
+type poolDomain struct {
+	interleave int
+	start      uint64
+
+	mu     sync.Mutex
+	allocs uint64
+	frees  uint64
+	bytes  uint64
+}
+
+func (d *poolDomain) recordAlloc(bytes int64) {
+	d.mu.Lock()
+	d.allocs++
+	d.bytes += uint64(bytes)
+	d.mu.Unlock()
+}
+
+func (d *poolDomain) recordFree() {
+	d.mu.Lock()
+	d.frees++
+	d.mu.Unlock()
+}
+
+func (d *poolDomain) info() PoolInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return PoolInfo{
+		Interleave: d.interleave,
+		Start:      d.start,
+		Allocs:     d.allocs,
+		Frees:      d.frees,
+		Bytes:      d.bytes,
+	}
+}
+
+// poolTable maps interleave -> domain. Lookup of an existing domain
+// takes only the table's read lock (shared, uncontended after warmup);
+// the write lock is taken once per pool lifetime, at creation.
+type poolTable struct {
+	mu      sync.RWMutex
+	domains map[int]*poolDomain
+}
+
+func (t *poolTable) domain(interleave int, start uint64) *poolDomain {
+	t.mu.RLock()
+	d := t.domains[interleave]
+	t.mu.RUnlock()
+	if d != nil {
+		return d
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.domains == nil {
+		t.domains = make(map[int]*poolDomain)
+	}
+	if d = t.domains[interleave]; d == nil {
+		d = &poolDomain{interleave: interleave, start: start}
+		t.domains[interleave] = d
+	}
+	return d
+}
+
+// infos snapshots every domain, sorted by interleave for deterministic
+// rendering.
+func (t *poolTable) infos() []PoolInfo {
+	t.mu.RLock()
+	domains := make([]*poolDomain, 0, len(t.domains))
+	for _, d := range t.domains {
+		domains = append(domains, d)
+	}
+	t.mu.RUnlock()
+	sort.Slice(domains, func(i, j int) bool { return domains[i].interleave < domains[j].interleave })
+	out := make([]PoolInfo, len(domains))
+	for i, d := range domains {
+		out[i] = d.info()
+	}
+	return out
+}
+
+// handle is one live allocation. Handles are owned by the machine's
+// worker goroutine; nothing else reads or writes them.
+type handle struct {
+	base memsim.Addr
+	// info is the layout record for affine AffAlloc placements; nil for
+	// near chunks and baseline-heap allocations.
+	info *core.ArrayInfo
+	// chunk is the placement-unit size for near allocations; 0 otherwise.
+	chunk int
+	// baseline marks non-AffAlloc (conventional heap) allocations, which
+	// cannot be freed through the runtime or used as affinity targets.
+	baseline bool
+	bytes    int64
+}
+
+// job is one admitted unit of work: an allocation batch, a free batch,
+// or a pool-open. Exactly one jobResult is delivered per job.
+type job struct {
+	allocs   []AllocRequest
+	frees    []string
+	openPool int
+	out      chan jobResult
+}
+
+type jobResult struct {
+	placements []Placement
+	freed      []FreeResult
+	pool       PoolInfo
+	err        error
+}
+
+// machine is one registered tenant machine: a full simulated system
+// plus the serving state around it. Placement state (the sys.System and
+// the handle table) is owned by a single worker goroutine — the lock
+// domain the deterministic allocator requires — while reads that the
+// wire API serves concurrently (pool stats, counters) live in the
+// sharded poolTable and atomics.
+type machine struct {
+	id      string
+	spec    MachineSpec
+	cfg     sys.Config
+	sys     *sys.System
+	created time.Time
+
+	jobs    chan *job
+	quit    chan struct{}
+	done    chan struct{}
+	closing atomic.Bool
+	// inflight tracks submitters between the closing check and the
+	// channel send, so teardown can drain every admitted job.
+	inflight sync.WaitGroup
+
+	// handles is worker-owned: IDs of live allocations.
+	handles map[string]*handle
+
+	pools       poolTable
+	allocs      atomic.Uint64
+	frees       atomic.Uint64
+	allocErrs   atomic.Uint64
+	handleCount atomic.Int64
+
+	// latency is the server-wide placement-latency histogram (shared
+	// across machines; the worker observes one sample per placement).
+	latency *telemetry.Hist
+	batches *atomic.Uint64 // admitted batches, server-wide
+}
+
+// admitMax bounds how many queued jobs one admission round coalesces.
+const defaultAdmitMax = 32
+
+func newMachine(id string, spec MachineSpec, cfg sys.Config, s *sys.System, latency *telemetry.Hist, batches *atomic.Uint64) *machine {
+	m := &machine{
+		id:      id,
+		spec:    spec,
+		cfg:     cfg,
+		sys:     s,
+		created: time.Now(),
+		jobs:    make(chan *job, 256),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		handles: make(map[string]*handle),
+		latency: latency,
+		batches: batches,
+	}
+	go m.serve()
+	return m
+}
+
+// submit hands a job to the worker. The reply arrives on j.out exactly
+// once, whether the job executed or the machine closed underneath it.
+func (m *machine) submit(j *job) error {
+	m.inflight.Add(1)
+	defer m.inflight.Done()
+	if m.closing.Load() {
+		return errMachineClosed
+	}
+	select {
+	case m.jobs <- j:
+		return nil
+	case <-m.quit:
+		return errMachineClosed
+	}
+}
+
+// stop tears the machine down: new submissions fail, queued jobs are
+// answered with errMachineClosed, and the worker exits.
+func (m *machine) stop() {
+	if m.closing.CompareAndSwap(false, true) {
+		close(m.quit)
+	}
+	<-m.done
+}
+
+// serve is the worker loop: one goroutine owns the machine's placement
+// state, admitting queued jobs in batches so concurrent tenant streams
+// amortize the queue handoff, and executing them in admission order —
+// which is what keeps a seeded request stream deterministic.
+func (m *machine) serve() {
+	defer close(m.done)
+	for {
+		var first *job
+		select {
+		case first = <-m.jobs:
+		case <-m.quit:
+			m.drainAndFail()
+			return
+		}
+		batch := []*job{first}
+		for len(batch) < defaultAdmitMax {
+			select {
+			case j := <-m.jobs:
+				batch = append(batch, j)
+			default:
+				goto admitted
+			}
+		}
+	admitted:
+		m.batches.Add(1)
+		for _, j := range batch {
+			j.out <- m.exec(j)
+		}
+	}
+}
+
+// drainAndFail answers every job still queued at teardown. inflight
+// waits for submitters that already passed the closing check; after it
+// returns, nothing else can enter the channel.
+func (m *machine) drainAndFail() {
+	m.inflight.Wait()
+	for {
+		select {
+		case j := <-m.jobs:
+			j.out <- jobResult{err: errMachineClosed}
+		default:
+			return
+		}
+	}
+}
+
+// exec runs one job against the worker-owned placement state.
+func (m *machine) exec(j *job) jobResult {
+	if j.openPool != 0 {
+		pool, err := m.execOpenPool(j.openPool)
+		return jobResult{pool: pool, err: err}
+	}
+	if len(j.frees) > 0 {
+		return jobResult{freed: m.execFrees(j.frees)}
+	}
+	placements := make([]Placement, len(j.allocs))
+	for i := range j.allocs {
+		start := time.Now()
+		placements[i] = m.execAlloc(&j.allocs[i])
+		m.latency.Observe(uint64(time.Since(start)))
+	}
+	return jobResult{placements: placements}
+}
+
+// execAlloc places one request. Failures are per-request: the placement
+// carries the error and the batch keeps going.
+func (m *machine) execAlloc(req *AllocRequest) Placement {
+	p, err := m.place(req)
+	if err != nil {
+		m.allocErrs.Add(1)
+		return Placement{ID: req.ID, Error: err.Error()}
+	}
+	m.allocs.Add(1)
+	m.handleCount.Add(1)
+	return p
+}
+
+func (m *machine) place(req *AllocRequest) (Placement, error) {
+	if req.ID == "" {
+		return Placement{}, fmt.Errorf("allocation has no id")
+	}
+	if _, live := m.handles[req.ID]; live {
+		return Placement{}, fmt.Errorf("id %q is already a live allocation", req.ID)
+	}
+	switch req.Kind {
+	case "", KindAffine:
+		return m.placeAffine(req)
+	case KindNear:
+		return m.placeNear(req)
+	default:
+		return Placement{}, fmt.Errorf("unknown kind %q (want %q or %q)", req.Kind, KindAffine, KindNear)
+	}
+}
+
+// placeAffine serves an affine request through the same mode-aware
+// sys.System.Alloc entry point library callers use.
+func (m *machine) placeAffine(req *AllocRequest) (Placement, error) {
+	mode := sys.AffAlloc
+	if req.Mode != "" {
+		var err error
+		if mode, err = sys.ParseMode(req.Mode); err != nil {
+			return Placement{}, err
+		}
+	}
+	spec := core.AffineSpec{
+		ElemSize:  req.ElemSize,
+		NumElem:   req.NumElem,
+		AlignP:    req.AlignP,
+		AlignQ:    req.AlignQ,
+		AlignX:    req.AlignX,
+		Partition: req.Partition,
+	}
+	if req.AlignTo != "" {
+		target, ok := m.handles[req.AlignTo]
+		if !ok {
+			return Placement{}, fmt.Errorf("align_to %q is not a live allocation", req.AlignTo)
+		}
+		if target.info == nil {
+			return Placement{}, fmt.Errorf("align_to %q is not an affine placement", req.AlignTo)
+		}
+		spec.AlignTo = target.base
+	}
+	info, err := m.sys.Alloc(mode, spec)
+	if err != nil {
+		return Placement{}, err
+	}
+	h := &handle{base: info.Base, bytes: info.Bytes()}
+	if mode == sys.AffAlloc {
+		h.info = info
+	} else {
+		h.baseline = true
+	}
+	m.handles[req.ID] = h
+	m.poolFor(info.Interleave).recordAlloc(h.bytes)
+	p := Placement{
+		ID:         req.ID,
+		Base:       uint64(info.Base),
+		ElemSize:   info.ElemSize,
+		ElemStride: info.ElemStride,
+		NumElem:    info.NumElem,
+		Interleave: info.Interleave,
+		PageMapped: info.PageMapped,
+		StartBank:  info.StartBank,
+	}
+	if mode != sys.AffAlloc {
+		// Baseline placements have no runtime-chosen start bank; report
+		// the bank the heap happened to land on, like the library would
+		// observe through BankOf.
+		p.StartBank = m.sys.BankOf(info.Base)
+	}
+	for _, i := range req.BankProbe {
+		p.Banks = append(p.Banks, m.sys.BankOf(info.ElemAddr(clampElem(i, info.NumElem))))
+	}
+	return p, nil
+}
+
+// placeNear serves an irregular request, resolving affinity edges to
+// element addresses of earlier placements.
+func (m *machine) placeNear(req *AllocRequest) (Placement, error) {
+	if len(req.Affinity) > core.MaxAffinityAddrs {
+		return Placement{}, fmt.Errorf("%d affinity edges exceeds the %d cap", len(req.Affinity), core.MaxAffinityAddrs)
+	}
+	addrs := make([]memsim.Addr, 0, len(req.Affinity))
+	for _, ref := range req.Affinity {
+		target, ok := m.handles[ref.Ref]
+		if !ok {
+			return Placement{}, fmt.Errorf("affinity ref %q is not a live allocation", ref.Ref)
+		}
+		if target.info == nil {
+			return Placement{}, fmt.Errorf("affinity ref %q is not an affine placement", ref.Ref)
+		}
+		addrs = append(addrs, target.info.ElemAddr(clampElem(ref.Elem, target.info.NumElem)))
+	}
+	base, err := m.sys.AllocNear(req.Size, addrs)
+	if err != nil {
+		return Placement{}, err
+	}
+	chunk, _ := m.sys.RT.ChunkOf(base)
+	bank := m.sys.BankOf(base)
+	m.handles[req.ID] = &handle{base: base, chunk: chunk, bytes: int64(chunk)}
+	m.poolFor(chunk).recordAlloc(int64(chunk))
+	p := Placement{
+		ID:         req.ID,
+		Base:       uint64(base),
+		ElemSize:   int(req.Size),
+		ElemStride: chunk,
+		NumElem:    1,
+		Interleave: chunk,
+		StartBank:  bank,
+	}
+	for range req.BankProbe {
+		p.Banks = append(p.Banks, bank) // a chunk lives wholly on one bank
+	}
+	return p, nil
+}
+
+// execFrees releases handles by ID through the single Free entry point.
+func (m *machine) execFrees(ids []string) []FreeResult {
+	out := make([]FreeResult, len(ids))
+	for i, id := range ids {
+		out[i] = FreeResult{ID: id}
+		h, ok := m.handles[id]
+		if !ok {
+			out[i].Error = fmt.Sprintf("id %q is not a live allocation", id)
+			continue
+		}
+		if h.baseline {
+			// Baseline-heap allocations are not runtime-managed; dropping
+			// the handle is the whole release.
+			delete(m.handles, id)
+			m.frees.Add(1)
+			m.handleCount.Add(-1)
+			continue
+		}
+		if err := m.sys.Free(h.base); err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		delete(m.handles, id)
+		m.frees.Add(1)
+		m.handleCount.Add(-1)
+		interleave := h.chunk
+		if h.info != nil {
+			interleave = h.info.Interleave
+		}
+		m.poolFor(interleave).recordFree()
+	}
+	return out
+}
+
+// poolFor resolves the lock domain of an interleaving. Interleave 0 —
+// baseline-heap placements with no pool — shares one "no pool" domain.
+func (m *machine) poolFor(interleave int) *poolDomain {
+	var start uint64
+	if interleave > 0 {
+		if p, err := m.sys.OpenPool(interleave); err == nil {
+			start = uint64(p.Start)
+		}
+	}
+	return m.pools.domain(interleave, start)
+}
+
+// execOpenPool pre-opens an interleave pool. It runs on the worker, so
+// pool creation serializes with placement.
+func (m *machine) execOpenPool(interleave int) (PoolInfo, error) {
+	if interleave <= 0 {
+		return PoolInfo{}, fmt.Errorf("interleave must be positive, got %d", interleave)
+	}
+	p, err := m.sys.OpenPool(interleave)
+	if err != nil {
+		return PoolInfo{}, err
+	}
+	return m.pools.domain(interleave, uint64(p.Start)).info(), nil
+}
+
+// info builds the GET machine view from the concurrent-safe state.
+func (m *machine) infoResponse() MachineInfoResponse {
+	return MachineInfoResponse{
+		Version:     APIVersion,
+		MachineID:   m.id,
+		Machine:     m.spec,
+		Banks:       m.sys.Mesh.Banks(),
+		LiveHandles: int(m.handleCount.Load()),
+		Allocs:      m.allocs.Load(),
+		Frees:       m.frees.Load(),
+		AllocErrors: m.allocErrs.Load(),
+		Pools:       m.pools.infos(),
+	}
+}
+
+func clampElem(i, n int64) int64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

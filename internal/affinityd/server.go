@@ -1,0 +1,418 @@
+package affinityd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/faults"
+	"affinityalloc/internal/sys"
+	"affinityalloc/internal/telemetry"
+)
+
+// Options parameterizes a Server.
+type Options struct {
+	// Defaults fills zero fields of every registered MachineSpec: the
+	// server's -seed/-policy/-faults flags become the fleet defaults a
+	// tenant inherits unless its registration overrides them.
+	Defaults MachineSpec
+}
+
+// Server is the affinityd placement service: an http.Handler serving
+// the affinityd/v1 wire API over a registry of tenant machines.
+//
+// The hot placement path takes no server-wide lock: machine lookup is
+// an atomic load of a copy-on-write registry snapshot, and everything
+// per-machine funnels into that machine's worker (see machine). The
+// registration path — rare — serializes on regMu to republish the
+// snapshot.
+type Server struct {
+	defaults MachineSpec
+	start    time.Time
+
+	regMu    sync.Mutex
+	machines atomic.Pointer[map[string]*machine]
+	nextID   atomic.Uint64
+	closed   atomic.Bool
+
+	mux *http.ServeMux
+
+	// Serving counters, all lock-free.
+	requests   atomic.Uint64
+	errs       atomic.Uint64
+	batches    atomic.Uint64
+	placements telemetry.Hist // per-placement decision latency, ns
+	wire       telemetry.Hist // per-request wire service latency, ns
+}
+
+// NewServer builds a server. Close releases its machines.
+func NewServer(opts Options) *Server {
+	s := &Server{defaults: opts.Defaults, start: time.Now()}
+	empty := map[string]*machine{}
+	s.machines.Store(&empty)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("POST /v1/machines", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/machines/{id}", s.handleMachineInfo)
+	s.mux.HandleFunc("DELETE /v1/machines/{id}", s.handleDeregister)
+	s.mux.HandleFunc("POST /v1/machines/{id}/pools", s.handleOpenPool)
+	s.mux.HandleFunc("POST /v1/machines/{id}/alloc", s.handleAlloc)
+	s.mux.HandleFunc("POST /v1/machines/{id}/free", s.handleFree)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+	s.wire.Observe(uint64(time.Since(start)))
+}
+
+// Close stops every machine worker. In-flight requests racing Close get
+// a machine-closed error; call it after the HTTP server has drained.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.regMu.Lock()
+	snap := *s.machines.Load()
+	empty := map[string]*machine{}
+	s.machines.Store(&empty)
+	s.regMu.Unlock()
+	for _, m := range snap {
+		m.stop()
+	}
+}
+
+// Requests returns the total wire requests served.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// lookup resolves a machine lock-free.
+func (s *Server) lookup(id string) *machine {
+	return (*s.machines.Load())[id]
+}
+
+// buildConfig resolves a MachineSpec (with server defaults applied)
+// into a validated sys.Config.
+func buildConfig(spec MachineSpec) (sys.Config, error) {
+	cfg := sys.DefaultConfig()
+	if spec.MeshW > 0 {
+		cfg.MeshW = spec.MeshW
+	}
+	if spec.MeshH > 0 {
+		cfg.MeshH = spec.MeshH
+	}
+	cfg.Seed = spec.Seed
+	pcfg, err := core.ParsePolicy(spec.Policy)
+	if err != nil {
+		return sys.Config{}, err
+	}
+	cfg.Policy = pcfg
+	fspec, err := faults.Parse(spec.Faults)
+	if err != nil {
+		return sys.Config{}, err
+	}
+	cfg.Faults = fspec
+	return cfg, nil
+}
+
+// merge fills zero fields of spec from the server defaults.
+func (s *Server) merge(spec MachineSpec) MachineSpec {
+	if spec.MeshW == 0 {
+		spec.MeshW = s.defaults.MeshW
+	}
+	if spec.MeshH == 0 {
+		spec.MeshH = s.defaults.MeshH
+	}
+	if spec.Seed == 0 {
+		spec.Seed = s.defaults.Seed
+	}
+	if spec.Policy == "" {
+		spec.Policy = s.defaults.Policy
+	}
+	if spec.Faults == "" {
+		spec.Faults = s.defaults.Faults
+	}
+	return spec
+}
+
+// Register assembles and registers a machine, returning its wire
+// description. It is the programmatic form of POST /v1/machines.
+func (s *Server) Register(spec MachineSpec) (RegisterResponse, error) {
+	spec = s.merge(spec)
+	cfg, err := buildConfig(spec)
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	system, err := sys.New(cfg)
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	id := fmt.Sprintf("m%06d", s.nextID.Add(1))
+	m := newMachine(id, spec, cfg, system, &s.placements, &s.batches)
+
+	s.regMu.Lock()
+	if s.closed.Load() {
+		s.regMu.Unlock()
+		m.stop()
+		return RegisterResponse{}, errMachineClosed
+	}
+	old := *s.machines.Load()
+	next := make(map[string]*machine, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = m
+	s.machines.Store(&next)
+	s.regMu.Unlock()
+
+	resp := RegisterResponse{
+		Version:   APIVersion,
+		MachineID: id,
+		MeshW:     cfg.MeshW,
+		MeshH:     cfg.MeshH,
+		Banks:     system.Mesh.Banks(),
+	}
+	if system.Faults != nil {
+		resp.DeadBanks = system.Faults.DeadBankList()
+	}
+	return resp, nil
+}
+
+// deregister removes and stops a machine; reports whether it existed.
+func (s *Server) deregister(id string) bool {
+	s.regMu.Lock()
+	old := *s.machines.Load()
+	m, ok := old[id]
+	if ok {
+		next := make(map[string]*machine, len(old)-1)
+		for k, v := range old {
+			if k != id {
+				next[k] = v
+			}
+		}
+		s.machines.Store(&next)
+	}
+	s.regMu.Unlock()
+	if ok {
+		m.stop()
+	}
+	return ok
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "version": APIVersion})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	resp, err := s.Register(req.Machine)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMachineInfo(w http.ResponseWriter, r *http.Request) {
+	m := s.lookup(r.PathValue("id"))
+	if m == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown machine %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, m.infoResponse())
+}
+
+func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.deregister(id) {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown machine %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"version": APIVersion, "machine_id": id, "status": "deleted"})
+}
+
+func (s *Server) handleOpenPool(w http.ResponseWriter, r *http.Request) {
+	m := s.lookup(r.PathValue("id"))
+	if m == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown machine %q", r.PathValue("id")))
+		return
+	}
+	var req OpenPoolRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	res, err := s.run(m, &job{openPool: req.Interleave})
+	if err != nil {
+		s.failSubmit(w, err)
+		return
+	}
+	if res.err != nil {
+		s.fail(w, http.StatusBadRequest, res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OpenPoolResponse{Version: APIVersion, MachineID: m.id, Pool: res.pool})
+}
+
+func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
+	m := s.lookup(r.PathValue("id"))
+	if m == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown machine %q", r.PathValue("id")))
+		return
+	}
+	var req BatchAllocRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	res, err := s.run(m, &job{allocs: req.Requests})
+	if err != nil {
+		s.failSubmit(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchAllocResponse{Version: APIVersion, MachineID: m.id, Placements: res.placements})
+}
+
+func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
+	m := s.lookup(r.PathValue("id"))
+	if m == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown machine %q", r.PathValue("id")))
+		return
+	}
+	var req FreeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty free batch"))
+		return
+	}
+	res, err := s.run(m, &job{frees: req.IDs})
+	if err != nil {
+		s.failSubmit(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FreeResponse{Version: APIVersion, MachineID: m.id, Results: res.freed})
+}
+
+// run submits a job and waits for its single reply.
+func (s *Server) run(m *machine, j *job) (jobResult, error) {
+	j.out = make(chan jobResult, 1)
+	if err := m.submit(j); err != nil {
+		return jobResult{}, err
+	}
+	res := <-j.out
+	if res.err != nil && errors.Is(res.err, errMachineClosed) {
+		return jobResult{}, res.err
+	}
+	return res, nil
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	doc := s.MetricsDocument()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = doc.WriteJSON(w)
+}
+
+// MetricsDocument exports the serving telemetry as the repository's
+// standard schema-validated metrics Document: one "affinityd" cell with
+// the server-wide counters and latency histograms, then one cell per
+// machine, sorted by ID. The "cycles" scalar — a simulated-time concept
+// the document schema requires — carries wall-clock nanoseconds of
+// uptime here, the service's notion of elapsed time.
+func (s *Server) MetricsDocument() *telemetry.Document {
+	doc := &telemetry.Document{
+		SchemaVersion: telemetry.SchemaVersion,
+		Experiment:    "affinityd",
+		Scale:         "service",
+		Seed:          s.defaults.Seed,
+	}
+	snap := *s.machines.Load()
+
+	r := telemetry.NewRegistry()
+	r.Set("cycles", uint64(time.Since(s.start)))
+	r.Set("requests", s.requests.Load())
+	r.Set("request_errors", s.errs.Load())
+	r.Set("batches_admitted", s.batches.Load())
+	r.Set("machines", uint64(len(snap)))
+	s.placements.Publish(r, "placement_latency_ns")
+	s.wire.Publish(r, "request_latency_ns")
+	doc.AddCell("affinityd", r.Snapshot())
+
+	ids := make([]string, 0, len(snap))
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m := snap[id]
+		r := telemetry.NewRegistry()
+		r.Set("cycles", uint64(time.Since(m.created)))
+		r.Set("allocs", m.allocs.Load())
+		r.Set("frees", m.frees.Load())
+		r.Set("alloc_errors", m.allocErrs.Load())
+		r.Set("live_handles", uint64(m.handleCount.Load()))
+		if pools := m.pools.infos(); len(pools) > 0 {
+			interleaves := make([]uint64, len(pools))
+			allocs := make([]uint64, len(pools))
+			bytes := make([]uint64, len(pools))
+			for i, p := range pools {
+				interleaves[i] = uint64(p.Interleave)
+				allocs[i] = p.Allocs
+				bytes[i] = p.Bytes
+			}
+			r.SetSeries("pool_interleaves", interleaves)
+			r.SetSeries("pool_allocs", allocs)
+			r.SetSeries("pool_bytes", bytes)
+		}
+		doc.AddCell("machine/"+id, r.Snapshot())
+	}
+	return doc
+}
+
+// decode parses a JSON body, failing the request on error.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// failSubmit maps submission errors: a closed machine is 503 (the
+// tenant raced a teardown), anything else a plain 400.
+func (s *Server) failSubmit(w http.ResponseWriter, err error) {
+	if errors.Is(err, errMachineClosed) {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.fail(w, http.StatusBadRequest, err)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.errs.Add(1)
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePolicy converts the canonical flag/wire spelling of an irregular
+// bank-selection policy (rnd|lnr|minhop|hybrid<H>) into a PolicyConfig.
+// The empty string selects the paper's default, Hybrid-5. It round-trips
+// with PolicyConfig.String for every parseable value.
+func ParsePolicy(v string) (PolicyConfig, error) {
+	switch strings.ToLower(v) {
+	case "":
+		return DefaultPolicy(), nil
+	case "rnd":
+		return PolicyConfig{Policy: Rnd}, nil
+	case "lnr":
+		return PolicyConfig{Policy: Lnr}, nil
+	case "minhop":
+		return PolicyConfig{Policy: MinHop}, nil
+	}
+	if h, ok := strings.CutPrefix(strings.ToLower(v), "hybrid"); ok {
+		w, err := strconv.Atoi(h)
+		if err != nil || w <= 0 {
+			return PolicyConfig{}, fmt.Errorf("core: bad hybrid weight in policy %q (want hybrid<positive int>)", v)
+		}
+		return PolicyConfig{Policy: Hybrid, H: float64(w)}, nil
+	}
+	return PolicyConfig{}, fmt.Errorf("core: unknown policy %q (rnd|lnr|minhop|hybrid<H>)", v)
+}
+
+// String returns the canonical flag/wire spelling (see ParsePolicy).
+func (p PolicyConfig) String() string {
+	switch p.Policy {
+	case Rnd:
+		return "rnd"
+	case Lnr:
+		return "lnr"
+	case MinHop:
+		return "minhop"
+	case Hybrid:
+		return fmt.Sprintf("hybrid%g", p.H)
+	default:
+		return fmt.Sprintf("policy(%d)", int(p.Policy))
+	}
+}

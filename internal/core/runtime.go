@@ -221,6 +221,22 @@ func (r *Runtime) ArrayOf(base memsim.Addr) (*ArrayInfo, bool) {
 	return a, ok
 }
 
+// ChunkOf returns the placement-unit (chunk) size of a live irregular
+// allocation, and whether addr is one.
+func (r *Runtime) ChunkOf(addr memsim.Addr) (int, bool) {
+	c, ok := r.chunks[addr]
+	return c, ok
+}
+
+// OpenPool ensures the interleave pool exists — reserving its physical
+// extent and installing its IOT entry — and returns it. Allocation paths
+// create pools on demand either way; this is the explicit entry point a
+// placement service exposes so tenants can pre-open the interleavings
+// they will allocate from.
+func (r *Runtime) OpenPool(interleave int) (*memsim.Pool, error) {
+	return r.space.Pool(interleave)
+}
+
 // AllocBase is the baseline affinity-oblivious allocator (the `malloc`
 // the Near-L3 and In-Core configurations use): a bump allocator over the
 // conventional heap with size-class free lists.

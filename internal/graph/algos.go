@@ -159,7 +159,7 @@ func BFS(g, gT *Graph, src int32, policy DirectionPolicy) BFSResult {
 		}
 		st := StepState{
 			VisitedFrac: float64(visited) / float64(g.N),
-			ScoutFrac:   float64(scout) / max1(totalEdges),
+			ScoutFrac:   float64(scout) / max(totalEdges, 1),
 			AwakeFrac:   float64(len(frontier)) / float64(g.N),
 		}
 		dir = policy.Decide(dir, st)
@@ -206,13 +206,6 @@ func BFS(g, gT *Graph, src int32, policy DirectionPolicy) BFSResult {
 		frontier = next
 	}
 	return BFSResult{Parent: parent, Level: level, Iters: iters}
-}
-
-func max1(v float64) float64 {
-	if v < 1 {
-		return 1
-	}
-	return v
 }
 
 // PageRank runs `iters` synchronous PageRank iterations and returns the

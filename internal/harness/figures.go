@@ -180,7 +180,7 @@ func Fig13(opt Options) (*Figure, error) {
 			r := rs[wi*len(policies)+pi]
 			sp := speedup(r, base)
 			row = append(row, sp)
-			trow = append(trow, float64(r.Metrics.FlitHops)/float64(maxU64(base.Metrics.FlitHops, 1)))
+			trow = append(trow, float64(r.Metrics.FlitHops)/float64(max(base.Metrics.FlitHops, 1)))
 			perPolicy[name(p)] = append(perPolicy[name(p)], sp)
 		}
 		spd.AddRow(row...)
@@ -200,11 +200,4 @@ func Fig13(opt Options) (*Figure, error) {
 			"paper shape: Min-Hop wins on most but collapses on bin_tree (whole tree on one bank); Hybrid-5 is the robust default",
 		},
 	}, nil
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -80,7 +80,7 @@ func Fig6(opt Options) (*Figure, error) {
 			r := rs[wi*len(variants)+vi]
 			sp := speedup(r, base)
 			row = append(row, sp)
-			trow = append(trow, float64(r.Metrics.FlitHops)/float64(maxU64(base.Metrics.FlitHops, 1)))
+			trow = append(trow, float64(r.Metrics.FlitHops)/float64(max(base.Metrics.FlitHops, 1)))
 			perVariant[v.name] = append(perVariant[v.name], sp)
 		}
 		spd.AddRow(row...)
@@ -538,7 +538,7 @@ func Fig20(opt Options) (*Figure, error) {
 			near, mh, hy := rs[i], rs[i+1], rs[i+2]
 			i += len(runs)
 			spd.AddRow(ge.Name, w.Name(), 1.0, speedup(mh, near), speedup(hy, near))
-			nt := float64(maxU64(near.Metrics.FlitHops, 1))
+			nt := float64(max(near.Metrics.FlitHops, 1))
 			trf.AddRow(ge.Name, w.Name(), 1.0,
 				float64(mh.Metrics.FlitHops)/nt, float64(hy.Metrics.FlitHops)/nt)
 			hySpeedups = append(hySpeedups, speedup(hy, near))

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of a Hist. Bucket i counts
+// samples v with 2^i <= v < 2^(i+1) (bucket 0 also takes 0 and 1); the
+// last bucket absorbs everything larger. With nanosecond samples the
+// range spans 1ns to ~9 minutes, which covers any plausible placement
+// latency.
+const HistBuckets = 40
+
+// Hist is a concurrency-safe power-of-two histogram for latency-style
+// samples. Unlike Registry it is written on hot paths by many
+// goroutines, so every bucket is an independent atomic counter;
+// observation is one CompareAndSwap-free atomic add. The zero value is
+// ready to use.
+type Hist struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// histBucket returns the bucket index for a sample.
+func histBucket(v uint64) int {
+	if v < 2 {
+		return 0
+	}
+	b := bits.Len64(v) - 1
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v uint64) {
+	h.buckets[histBucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of recorded samples.
+func (h *Hist) Sum() uint64 { return h.sum.Load() }
+
+// Counts returns a snapshot of the per-bucket counts. Concurrent
+// observers may land between bucket loads; the snapshot is a consistent
+// lower bound, exact once observation has quiesced.
+func (h *Hist) Counts() []uint64 {
+	out := make([]uint64, HistBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the recorded samples,
+// interpolated within the winning power-of-two bucket; 0 with no samples.
+func (h *Hist) Quantile(q float64) uint64 {
+	return HistQuantile(h.Counts(), q)
+}
+
+// HistQuantile computes a quantile from an exported bucket-count series
+// (len HistBuckets, or any prefix) laid out as Hist lays buckets out.
+// This is what consumers of a metrics Document use to derive p50/p99
+// from the published series without access to the live histogram.
+func HistQuantile(counts []uint64, q float64) uint64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			// Interpolate linearly inside the bucket [lo, hi).
+			lo := uint64(0)
+			if i > 0 {
+				lo = uint64(1) << uint(i)
+			}
+			hi := uint64(1) << uint(i+1)
+			frac := float64(rank-cum) / float64(c)
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return uint64(1) << uint(len(counts)) // unreachable for consistent input
+}
+
+// Publish exports the histogram into a registry under name: the bucket
+// counts as a series (SetSeries also writes name+"_total", the sample
+// count) plus name+"_sum" for mean derivation. Like every registry
+// publisher it runs at collection time, off the hot path.
+func (h *Hist) Publish(r *Registry, name string) {
+	r.SetSeries(name, h.Counts())
+	r.Set(name+"_sum", h.Sum())
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistBucketing(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1 << 20, 20}, {1<<40 - 1, 39}, {1 << 45, HistBuckets - 1}, {^uint64(0), HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.want {
+			t.Errorf("histBucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistObserveAndQuantile(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// 100 samples in [64, 128): every quantile lands in bucket 6.
+	for i := 0; i < 100; i++ {
+		h.Observe(64 + uint64(i)%64)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < 64 || v > 128 {
+			t.Errorf("q%.2f = %d, outside sample bucket [64,128]", q, v)
+		}
+	}
+	// Quantiles are monotone in q.
+	if h.Quantile(0.99) < h.Quantile(0.5) {
+		t.Error("p99 < p50")
+	}
+}
+
+func TestHistQuantileSkew(t *testing.T) {
+	// 99 fast samples (~16ns) and 1 slow (~1<<30): p50 stays in the fast
+	// bucket, p100 reaches the slow one.
+	var h Hist
+	for i := 0; i < 99; i++ {
+		h.Observe(16)
+	}
+	h.Observe(1 << 30)
+	if p50 := h.Quantile(0.50); p50 < 16 || p50 >= 32 {
+		t.Errorf("p50 = %d, want within [16,32)", p50)
+	}
+	if p100 := h.Quantile(1); p100 < 1<<30 {
+		t.Errorf("p100 = %d, want >= 2^30", p100)
+	}
+}
+
+func TestHistConcurrentObserve(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var total uint64
+	for _, c := range h.Counts() {
+		total += c
+	}
+	if total != workers*per {
+		t.Errorf("bucket sum = %d, want %d", total, workers*per)
+	}
+}
+
+func TestHistPublishRoundTrip(t *testing.T) {
+	var h Hist
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	r := NewRegistry()
+	r.Set("cycles", 1)
+	h.Publish(r, "lat_ns")
+	snap := r.Snapshot()
+
+	doc := &Document{SchemaVersion: SchemaVersion, Experiment: "hist-test", Scale: "tiny", Seed: 1}
+	doc.AddCell("cell", snap)
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("published histogram fails document validation: %v", err)
+	}
+	counts := snap.Series["lat_ns"]
+	// The exported series must reproduce the live quantiles exactly.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if HistQuantile(counts, q) != h.Quantile(q) {
+			t.Errorf("q%.2f differs between live hist and exported series", q)
+		}
+	}
+	if snap.Scalars["lat_ns_total"] != h.Count() {
+		t.Errorf("_total = %d, want %d", snap.Scalars["lat_ns_total"], h.Count())
+	}
+	if snap.Scalars["lat_ns_sum"] != h.Sum() {
+		t.Errorf("_sum = %d, want %d", snap.Scalars["lat_ns_sum"], h.Sum())
+	}
+}
