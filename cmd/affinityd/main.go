@@ -8,21 +8,36 @@
 // Usage:
 //
 //	affinityd [-addr 127.0.0.1:7077] [-seed N] [-policy hybrid5]
-//	          [-faults dead-banks=2] [-metrics-out m.json] [-pprof cpu.prof]
+//	          [-faults dead-banks=2] [-journal DIR] [-snap-every N]
+//	          [-fsync] [-queue-depth N] [-metrics-out m.json]
+//	          [-pprof cpu.prof]
 //
 // The -seed/-policy/-faults flags are fleet defaults: a registration
 // whose MachineSpec leaves those fields zero inherits them, so a whole
 // load run can be degraded (-faults) or re-seeded from the server side.
 //
-// Endpoints: GET /healthz, GET /metricsz (schema-validated metrics
-// document with p50/p99 placement-latency histograms), POST
-// /v1/machines, GET/DELETE /v1/machines/{id}, POST
+// With -journal DIR the daemon is crash-safe: every committed batch is
+// appended to a per-machine write-ahead journal under DIR before it
+// executes, and a restart with the same -journal replays the journals
+// to reconstruct byte-identical placement state. Verification happens
+// before the listener opens (a corrupt journal refuses startup; pass
+// -journal-reset to discard history deliberately); replay happens after,
+// so /healthz answers immediately while /readyz reports not-ready until
+// every machine has finished replaying.
+//
+// Endpoints: GET /healthz (liveness), GET /readyz (readiness — 503
+// during journal replay and shutdown drain), GET /metricsz
+// (schema-validated metrics document with p50/p99 placement-latency
+// histograms), POST /v1/machines, GET/DELETE /v1/machines/{id}, POST
 // /v1/machines/{id}/pools, POST /v1/machines/{id}/alloc, POST
 // /v1/machines/{id}/free.
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
-// requests drain, machine workers stop, and -metrics-out (when set)
-// receives the final metrics document.
+// The server sheds overload: each machine has a bounded admission queue
+// (-queue-depth) and a full queue answers 503 + Retry-After instead of
+// queueing unboundedly. Shutdown on SIGINT/SIGTERM is graceful: /readyz
+// flips not-ready first, in-flight requests drain, machine workers
+// stop, journals close, and -metrics-out (when set) receives the final
+// metrics document.
 package main
 
 import (
@@ -43,16 +58,23 @@ import (
 func main() {
 	cc := cliconf.Register(flag.CommandLine,
 		cliconf.FlagSeed|cliconf.FlagPolicy|cliconf.FlagFaults|cliconf.FlagMetricsOut|cliconf.FlagPprof)
-	addr := flag.String("addr", "127.0.0.1:7077", "listen address (host:port; port 0 picks a free port)")
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7077", "listen address (host:port; port 0 picks a free port)")
+		journalDir   = flag.String("journal", "", "write-ahead journal directory (empty = in-memory only)")
+		journalReset = flag.Bool("journal-reset", false, "discard existing journals in -journal instead of recovering them")
+		snapEvery    = flag.Int("snap-every", 0, "journal records between snapshots (0 = default 256, negative disables)")
+		fsync        = flag.Bool("fsync", false, "fsync every journal append (power-loss durability)")
+		queueDepth   = flag.Int("queue-depth", 0, "per-machine admission queue depth (0 = default 256)")
+	)
 	flag.Parse()
 
-	if err := run(cc, *addr); err != nil {
+	if err := run(cc, *addr, *journalDir, *journalReset, *snapEvery, *fsync, *queueDepth); err != nil {
 		fmt.Fprintln(os.Stderr, "affinityd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cc *cliconf.Config, addr string) error {
+func run(cc *cliconf.Config, addr, journalDir string, journalReset bool, snapEvery int, fsync bool, queueDepth int) error {
 	// Validate the fleet defaults up front so a bad -policy/-faults is
 	// one named startup error, not a failure on every registration.
 	if _, err := cc.Policy(); err != nil {
@@ -67,11 +89,37 @@ func run(cc *cliconf.Config, addr string) error {
 	}
 	defer stopProf()
 
-	srv := affinityd.NewServer(affinityd.Options{Defaults: affinityd.MachineSpec{
-		Seed:   cc.Seed,
-		Policy: cc.PolicyStr,
-		Faults: cc.FaultsStr,
-	}})
+	if journalDir != "" {
+		if err := os.MkdirAll(journalDir, 0o755); err != nil {
+			return err
+		}
+		if journalReset {
+			if err := affinityd.RemoveJournalDir(journalDir); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "affinityd: journal directory reset, history discarded")
+		}
+	}
+
+	srv := affinityd.NewServer(affinityd.Options{
+		Defaults: affinityd.MachineSpec{
+			Seed:   cc.Seed,
+			Policy: cc.PolicyStr,
+			Faults: cc.FaultsStr,
+		},
+		JournalDir:    journalDir,
+		SnapshotEvery: snapEvery,
+		SyncWrites:    fsync,
+		QueueDepth:    queueDepth,
+	})
+
+	// Phase one of recovery runs before the listener opens: every
+	// journal is verified end to end, and corruption refuses startup
+	// loudly rather than serving a machine whose history is wrong.
+	rec, err := srv.PrepareRecovery()
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -81,14 +129,36 @@ func run(cc *cliconf.Config, addr string) error {
 	// host:0" can discover the port.
 	fmt.Printf("affinityd: listening on %s (%s)\n", ln.Addr(), affinityd.APIVersion)
 
+	// Phase two replays the verified journals while the listener is
+	// already answering: /healthz says alive, /readyz says not-ready,
+	// and requests against a still-replaying machine get a retryable
+	// 503, never a 404.
 	hs := &http.Server{Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	replayDone := make(chan error, 1)
+	go func() {
+		stats, err := rec.Replay()
+		if err == nil && stats.Machines > 0 {
+			fmt.Printf("affinityd: recovered %s\n", stats)
+		}
+		if err != nil {
+			// A replay failure is fatal: the affected machine would 503
+			// forever. Shut down and surface the error as the exit status.
+			fmt.Fprintln(os.Stderr, "affinityd: recovery failed:", err)
+			stop()
+		}
+		replayDone <- err
+	}()
 
 	shutdownDone := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
 		fmt.Fprintln(os.Stderr, "affinityd: shutting down")
+		// Flip /readyz before draining so load balancers and retrying
+		// clients move on while in-flight requests finish.
+		srv.Drain()
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		shutdownDone <- hs.Shutdown(sctx)
@@ -97,9 +167,16 @@ func run(cc *cliconf.Config, addr string) error {
 	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 		return err
 	}
+	if err := <-replayDone; err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
 	if err := <-shutdownDone; err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// Snapshot the document before Close: Close empties the machine
+	// table, and the final export should still carry the per-machine
+	// cells.
+	doc := srv.MetricsDocument()
 	srv.Close()
 
 	if cc.MetricsOut != "" {
@@ -108,7 +185,7 @@ func run(cc *cliconf.Config, addr string) error {
 			return err
 		}
 		defer f.Close()
-		if err := srv.MetricsDocument().WriteJSON(f); err != nil {
+		if err := doc.WriteJSON(f); err != nil {
 			return err
 		}
 	}

@@ -5,20 +5,35 @@
 // Usage:
 //
 //	affload -addr http://127.0.0.1:7077 [-streams 4] [-ops 512]
-//	        [-batch 16] [-seed N]
+//	        [-batch 16] [-seed N] [-timeout 30s]
+//
+//	affload -chaos -daemon ./affinityd -journal DIR [-kills 3]
+//	        [-stalls 2] [-streams 4] [-ops 512] [-batch 16] [-seed N]
 //
 // Each stream registers its own machine (tenant isolation) and drives a
 // seeded, deterministic request sequence — the same -seed always sends
-// the same placements, so runs are reproducible and comparable. The
-// summary's p50/p99 placement latency is sourced from the server's
+// the same placements, so runs are reproducible and comparable. Every
+// batch carries a deterministic idempotency key, so the client's retry
+// loop (backoff + jitter, honoring Retry-After) never double-allocates:
+// a batch the server already committed returns its original placements.
+// The summary's p50/p99 placement latency is sourced from the server's
 // internal/telemetry histogram via /metricsz, not measured client-side;
 // the per-stream columns are client-observed wire latencies.
 //
-// affload exits non-zero if no placement succeeded, so it doubles as a
-// service smoke gate in CI.
+// In -chaos mode affload owns the daemon: it spawns the -daemon binary
+// with a write-ahead journal, drives the streams while repeatedly
+// kill -9ing and restarting it (and injecting SIGSTOP stalls), then
+// proves convergence — every placement the turbulent run produced must
+// be byte-identical to an uninterrupted in-process run of the same
+// seeded streams, with no placement lost or duplicated.
+//
+// affload exits non-zero if no placement succeeded (or, under -chaos,
+// if the converged state diverges from the clean oracle), so it doubles
+// as a service smoke/chaos gate in CI.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,10 +54,27 @@ func main() {
 		ops     = flag.Int("ops", 512, "allocation requests per stream")
 		batch   = flag.Int("batch", 16, "allocation requests per wire batch")
 		keep    = flag.Bool("keep", false, "leave the tenant machines registered after the run")
+		timeout = flag.Duration("timeout", affinityd.DefaultRequestTimeout, "per-request deadline")
+
+		chaos   = flag.Bool("chaos", false, "chaos mode: spawn -daemon, kill/stall it mid-stream, prove convergence")
+		daemon  = flag.String("daemon", "", "path to the affinityd binary (chaos mode)")
+		journal = flag.String("journal", "", "journal directory for the spawned daemon (chaos mode; default a temp dir)")
+		kills   = flag.Int("kills", 3, "kill -9/restart cycles to inject (chaos mode)")
+		stalls  = flag.Int("stalls", 2, "SIGSTOP/SIGCONT stalls to inject (chaos mode)")
 	)
 	flag.Parse()
 
-	if err := run(cc.Seed, *addr, *streams, *ops, *batch, *keep); err != nil {
+	var err error
+	if *chaos {
+		err = runChaos(chaosConfig{
+			seed: cc.Seed, daemon: *daemon, journal: *journal,
+			streams: *streams, ops: *ops, batch: *batch,
+			kills: *kills, stalls: *stalls, timeout: *timeout,
+		})
+	} else {
+		err = run(cc.Seed, *addr, *streams, *ops, *batch, *keep, *timeout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "affload:", err)
 		os.Exit(1)
 	}
@@ -58,14 +90,22 @@ type streamStats struct {
 	wall      time.Duration
 	lat       telemetry.Hist // client-observed wire latency per batch, ns
 	err       error
+	// placements/freed are the per-ID outcomes the stream observed,
+	// collected for the chaos differential. A replayed (deduped) batch
+	// must return byte-identical placements, so conflicting duplicates
+	// are recorded as an error.
+	placements map[string]affinityd.Placement
+	freed      map[string]string
 }
 
-func run(seed int64, addr string, streams, ops, batchSize int, keep bool) error {
+func run(seed int64, addr string, streams, ops, batchSize int, keep bool, timeout time.Duration) error {
 	if streams < 1 || ops < 1 || batchSize < 1 {
 		return fmt.Errorf("want -streams/-ops/-batch >= 1, got %d/%d/%d", streams, ops, batchSize)
 	}
+	ctx := context.Background()
 	client := affinityd.NewClient(addr)
-	if !client.Healthy() {
+	client.Timeout = timeout
+	if !client.Healthy(ctx) {
 		return fmt.Errorf("no affinityd answering at %s (is it running?)", addr)
 	}
 
@@ -76,7 +116,7 @@ func run(seed int64, addr string, streams, ops, batchSize int, keep bool) error 
 		wg.Add(1)
 		go func(stream int) {
 			defer wg.Done()
-			driveStream(client, &all[stream], seed, stream, ops, batchSize)
+			driveStream(ctx, client, &all[stream], seed, stream, ops, batchSize)
 		}(i)
 	}
 	wg.Wait()
@@ -84,12 +124,12 @@ func run(seed int64, addr string, streams, ops, batchSize int, keep bool) error 
 
 	// The headline latency numbers come from the server's telemetry
 	// histogram, scraped once after the run.
-	doc, derr := client.Metrics()
+	doc, derr := client.Metrics(ctx)
 
 	if !keep {
 		for i := range all {
 			if all[i].machineID != "" {
-				if err := client.Deregister(all[i].machineID); err != nil {
+				if err := client.Deregister(ctx, all[i].machineID); err != nil {
 					fmt.Fprintln(os.Stderr, "affload: deregister:", err)
 				}
 			}
@@ -120,6 +160,9 @@ func run(seed int64, addr string, streams, ops, batchSize int, keep bool) error 
 
 	fmt.Printf("\ntotal: %d successful placements, %d frees, %d request errors in %.2fs (%.0f placements/s)\n",
 		totalAllocs, totalFrees, totalErrors, wall.Seconds(), float64(totalAllocs)/wall.Seconds())
+	if retries := client.Retries(); retries > 0 {
+		fmt.Printf("client retries: %d\n", retries)
+	}
 	if derr != nil {
 		fmt.Fprintln(os.Stderr, "affload: metrics scrape failed:", derr)
 	} else if line, ok := serverLatencyLine(doc); ok {
@@ -133,14 +176,25 @@ func run(seed int64, addr string, streams, ops, batchSize int, keep bool) error 
 }
 
 // driveStream runs one tenant: register a machine, push the seeded
-// stream in batches, count outcomes into st.
-func driveStream(client *affinityd.Client, st *streamStats, seed int64, stream, ops, batchSize int) {
-	reg, err := client.Register(affinityd.MachineSpec{Seed: seed + int64(stream)})
+// stream in batches with idempotency keys, count outcomes into st.
+func driveStream(ctx context.Context, client *affinityd.Client, st *streamStats, seed int64, stream, ops, batchSize int) {
+	reg, err := client.Register(ctx, affinityd.MachineSpec{Seed: seed + int64(stream)})
 	if err != nil {
 		st.err = err
 		return
 	}
-	st.machineID = reg.MachineID
+	driveSteps(ctx, client, st, reg.MachineID, seed, stream, ops, batchSize, 0)
+}
+
+// driveSteps pushes one stream's seeded steps at an already-registered
+// machine (chaos mode registers machines itself, before turbulence
+// starts, because registration is the one call without an idempotency
+// key). A non-zero pace sleeps between steps — chaos mode uses it to
+// stretch the stream across the whole turbulence schedule.
+func driveSteps(ctx context.Context, client *affinityd.Client, st *streamStats, machineID string, seed int64, stream, ops, batchSize int, pace time.Duration) {
+	st.machineID = machineID
+	st.placements = make(map[string]affinityd.Placement)
+	st.freed = make(map[string]string)
 	gen := affinityd.NewStreamGen(seed, stream)
 	start := time.Now()
 	for sent := 0; sent < ops; {
@@ -149,7 +203,7 @@ func driveStream(client *affinityd.Client, st *streamStats, seed int64, stream, 
 		sent += n
 
 		t0 := time.Now()
-		resp, err := client.Alloc(reg.MachineID, step.Allocs)
+		resp, err := client.Alloc(ctx, machineID, step.AllocBatch, step.Allocs)
 		st.lat.Observe(uint64(time.Since(t0)))
 		if err != nil {
 			st.err = err
@@ -157,6 +211,11 @@ func driveStream(client *affinityd.Client, st *streamStats, seed int64, stream, 
 		}
 		st.batches++
 		for _, p := range resp.Placements {
+			if prev, dup := st.placements[p.ID]; dup && !placementEqual(prev, p) {
+				st.err = fmt.Errorf("duplicate placement for %q diverges: %+v vs %+v", p.ID, prev, p)
+				return
+			}
+			st.placements[p.ID] = p
 			if p.Error != "" {
 				st.errors++
 			} else {
@@ -165,18 +224,27 @@ func driveStream(client *affinityd.Client, st *streamStats, seed int64, stream, 
 		}
 		if len(step.Frees) > 0 {
 			t0 := time.Now()
-			fresp, err := client.Free(reg.MachineID, step.Frees)
+			fresp, err := client.Free(ctx, machineID, step.FreeBatch, step.Frees)
 			st.lat.Observe(uint64(time.Since(t0)))
 			if err != nil {
 				st.err = err
 				return
 			}
 			for _, r := range fresp.Results {
+				st.freed[r.ID] = r.Error
 				if r.Error != "" {
 					st.errors++
 				} else {
 					st.frees++
 				}
+			}
+		}
+		if pace > 0 && sent < ops {
+			select {
+			case <-time.After(pace):
+			case <-ctx.Done():
+				st.err = ctx.Err()
+				return
 			}
 		}
 	}

@@ -1,0 +1,185 @@
+package affinityd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// blockWorker wedges a machine's worker inside exec and returns the
+// release channel. It waits for the worker's entered handshake — only
+// once the worker is inside exec is its admission drain loop done, so
+// jobs submitted after this really queue behind the wedged worker.
+func blockWorker(t *testing.T, m *machine) (release chan struct{}, out chan jobResult) {
+	t.Helper()
+	release = make(chan struct{})
+	entered := make(chan struct{})
+	blocker := &job{openPool: 64, block: release, entered: entered,
+		ctx: context.Background(), out: make(chan jobResult, 1)}
+	if err := m.submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the blocking job")
+	}
+	return release, blocker.out
+}
+
+// TestOverloadShedsWithRetryAfter pins graceful degradation: a full
+// admission queue sheds immediately — errOverloaded at the machine,
+// 503 + Retry-After on the wire, a typed retryable error at the client
+// — and the shed is counted in the metrics document.
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	srv := NewServer(Options{QueueDepth: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	client := NewClient(ts.URL)
+	client.MaxRetries = -1
+	reg, err := client.Register(bg, MachineSpec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := srv.lookup(reg.MachineID)
+
+	release, blockerOut := blockWorker(t, m)
+	// Fill the (depth 2) queue behind the wedged worker.
+	fillers := make([]*job, 2)
+	for i := range fillers {
+		fillers[i] = &job{openPool: 64, ctx: bg, out: make(chan jobResult, 1)}
+		if err := m.submit(fillers[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The machine sheds now.
+	overflow := &job{openPool: 64, ctx: bg, out: make(chan jobResult, 1)}
+	if err := m.submit(overflow); !errors.Is(err, errOverloaded) {
+		t.Fatalf("submit on a full queue returned %v, want errOverloaded", err)
+	}
+
+	// The wire maps the shed to 503 + Retry-After.
+	body := `{"requests":[{"id":"x","elem_size":4,"num_elem":64}]}`
+	resp, err := http.Post(ts.URL+"/v1/machines/"+reg.MachineID+"/alloc", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed request got %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed 503 carries no Retry-After")
+	}
+
+	// And the client sees the typed, retryable shape.
+	var ae *APIError
+	if _, err := client.Alloc(bg, reg.MachineID, "b", []AllocRequest{{ID: "y", ElemSize: 4, NumElem: 64}}); !errors.As(err, &ae) || ae.Status != 503 || ae.RetryAfter <= 0 {
+		t.Errorf("client saw %v, want *APIError{503, Retry-After > 0}", err)
+	}
+
+	close(release)
+	<-blockerOut
+	for _, f := range fillers {
+		<-f.out
+	}
+
+	if got := m.sheds.Load(); got < 2 {
+		t.Errorf("sheds counter = %d, want >= 2", got)
+	}
+	doc := srv.MetricsDocument()
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("metrics document invalid: %v", err)
+	}
+	for _, c := range doc.Cells {
+		if c.Label == "affinityd" && c.Scalars["sheds"] < 2 {
+			t.Errorf("metrics sheds = %d, want >= 2", c.Scalars["sheds"])
+		}
+	}
+}
+
+// TestServerEnforcesDeadline pins server-side deadline enforcement: a
+// request whose propagated budget expires while queued behind a wedged
+// worker answers 504, and the worker drops the dead job (counted as a
+// deadline drop) instead of executing it.
+func TestServerEnforcesDeadline(t *testing.T) {
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	client := NewClient(ts.URL)
+	reg, err := client.Register(bg, MachineSpec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := srv.lookup(reg.MachineID)
+	release, blockerOut := blockWorker(t, m)
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/machines/"+reg.MachineID+"/alloc",
+		strings.NewReader(`{"requests":[{"id":"x","elem_size":4,"num_elem":64}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(deadlineHeader, "50")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired request got %d, want 504", resp.StatusCode)
+	}
+
+	close(release)
+	<-blockerOut
+
+	// The dead job was queued; the worker must drop it un-executed.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.deadlineDrops.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline drop never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.allocs.Load(); got != 0 {
+		t.Errorf("expired job executed anyway: %d allocs", got)
+	}
+}
+
+// TestDedupResultEviction pins the idempotency window boundary: a batch
+// ID evicted from the result cache is still recognized as committed —
+// the retry gets a named error, never a second execution.
+func TestDedupResultEviction(t *testing.T) {
+	srv := NewServer(Options{})
+	defer srv.Close()
+	resp, err := srv.Register(MachineSpec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := srv.lookup(resp.MachineID)
+
+	// Simulate an old committed batch aging out of the window: its ID is
+	// in seen but its result is gone. (The worker is idle; the channel
+	// send below publishes this write to it.)
+	m.seen["ancient"] = struct{}{}
+
+	res, err := srv.run(bg, m, &job{batch: "ancient", allocs: []AllocRequest{{ID: "a", ElemSize: 4, NumElem: 64}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.err == nil || !strings.Contains(res.err.Error(), "idempotency window") {
+		t.Fatalf("evicted duplicate returned %v, want the named idempotency-window error", res.err)
+	}
+	if m.allocs.Load() != 0 {
+		t.Errorf("evicted duplicate re-executed: %d allocs", m.allocs.Load())
+	}
+	if m.dedupHits.Load() != 1 {
+		t.Errorf("dedup hit not counted")
+	}
+}

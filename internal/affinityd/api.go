@@ -125,6 +125,11 @@ type AllocRequest struct {
 
 // BatchAllocRequest submits allocations: POST /v1/machines/{id}/alloc.
 type BatchAllocRequest struct {
+	// BatchID is the optional idempotency key. A retried batch carrying
+	// the ID of a batch the machine already committed returns the
+	// original placements (Replayed set) instead of allocating again —
+	// which is what makes client retries safe across server crashes.
+	BatchID  string         `json:"batch_id,omitempty"`
 	Requests []AllocRequest `json:"requests"`
 }
 
@@ -154,11 +159,16 @@ type BatchAllocResponse struct {
 	Version    string      `json:"version"`
 	MachineID  string      `json:"machine_id"`
 	Placements []Placement `json:"placements"`
+	// Replayed marks a response served from the idempotency cache: the
+	// batch was already committed and these are its original placements.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // FreeRequest releases allocations by ID: POST /v1/machines/{id}/free.
 type FreeRequest struct {
-	IDs []string `json:"ids"`
+	// BatchID is the optional idempotency key, as in BatchAllocRequest.
+	BatchID string   `json:"batch_id,omitempty"`
+	IDs     []string `json:"ids"`
 }
 
 // FreeResult reports one free outcome.
@@ -172,6 +182,8 @@ type FreeResponse struct {
 	Version   string       `json:"version"`
 	MachineID string       `json:"machine_id"`
 	Results   []FreeResult `json:"results"`
+	// Replayed marks a response served from the idempotency cache.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // MachineInfoResponse is GET /v1/machines/{id}: identity plus serving

@@ -153,6 +153,7 @@ func describeSchema() string {
 	fmt.Fprintf(&b, "\nkinds: %s, %s\n", KindAffine, KindNear)
 	routes := []string{
 		"GET /healthz",
+		"GET /readyz",
 		"GET /metricsz",
 		"POST /v1/machines",
 		"GET /v1/machines/{id}",

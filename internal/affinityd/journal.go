@@ -1,0 +1,366 @@
+package affinityd
+
+// The write-ahead journal is what makes affinityd crash-safe: every
+// state-changing operation a machine commits — its registration, pool
+// opens, allocation batches, free batches — is appended to a
+// per-machine journal file *before* it executes. Placements are a
+// deterministic function of the machine spec and the ordered operation
+// stream (the service-vs-library differential gate pins exactly this),
+// so replaying the journal against a freshly built machine reconstructs
+// byte-identical placement state: the same bases, banks, pool free
+// lists, RNG state, counters, and idempotency dedup cache.
+//
+// Record framing is one line per record:
+//
+//	<crc32-ieee hex8> <canonical JSON>\n
+//
+// appended with a single unbuffered write syscall, so a kill -9 loses
+// at most the record being written, never a committed one. A torn tail
+// (final line without its newline, or a final line whose CRC/JSON no
+// longer checks out — the signature of a write cut short) is truncated
+// on recovery and reported; any malformed record *before* the tail is
+// corruption, and recovery fails loudly with a typed *JournalError
+// rather than silently serving a machine whose history is wrong.
+//
+// Snapshots (<machine>.snap, written atomically via rename every
+// Options.SnapshotEvery records) are consistency checkpoints, not
+// replay truncation: allocator state is history-dependent (seeded RNG,
+// pool free lists), so byte-identical reconstruction requires replaying
+// the full record stream. What a snapshot buys is a cross-check — at
+// the snapshot's sequence number the replayed state must hash to the
+// snapshot's state sum, or recovery fails loudly — plus a cheap summary
+// an operator can read without replaying anything.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// journalMagic is the first line of every journal file, carrying the
+// format version and the machine ID the file belongs to.
+const journalMagic = "affinityd-journal/v1"
+
+// Journal file suffixes under the journal directory.
+const (
+	journalExt  = ".waj"
+	snapshotExt = ".snap"
+)
+
+// Journal record kinds, in the order a machine's life emits them.
+const (
+	recRegister = "register"
+	recPool     = "pool"
+	recAlloc    = "alloc"
+	recFree     = "free"
+)
+
+// Record is one committed operation in a machine's write-ahead journal.
+// Exactly one kind-specific payload is set.
+type Record struct {
+	// Seq numbers records 1..N consecutively within one journal; replay
+	// refuses gaps and reordering.
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	// Batch is the idempotency key of an alloc/free batch; replay
+	// rebuilds the dedup cache from it so a client retry that lands
+	// after a crash+restart still gets the original placements.
+	Batch string `json:"batch,omitempty"`
+
+	Spec       *MachineSpec   `json:"spec,omitempty"`       // recRegister
+	Interleave int            `json:"interleave,omitempty"` // recPool
+	Allocs     []AllocRequest `json:"allocs,omitempty"`     // recAlloc
+	Frees      []string       `json:"frees,omitempty"`      // recFree
+}
+
+// JournalError reports a journal or snapshot that cannot be recovered
+// from: a malformed record before the tail, a sequence gap, a header
+// mismatch, or a snapshot whose state sum disagrees with replay. It is
+// deliberately loud — serving a machine whose history is corrupt would
+// corrupt placements silently.
+type JournalError struct {
+	Path   string
+	Line   int // 1-based line in the file; 0 when not line-specific
+	Reason string
+}
+
+func (e *JournalError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("affinityd: journal %s:%d: %s", e.Path, e.Line, e.Reason)
+	}
+	return fmt.Sprintf("affinityd: journal %s: %s", e.Path, e.Reason)
+}
+
+// journal is the append side, owned by the machine worker goroutine
+// (or, during replay, by the recovery goroutine) — never shared.
+type journal struct {
+	path string
+	f    *os.File
+	seq  uint64
+	sync bool // fsync after every append (power-loss durability)
+}
+
+// journalPath/snapshotPath name a machine's files under dir.
+func journalPath(dir, machineID string) string {
+	return filepath.Join(dir, machineID+journalExt)
+}
+
+func snapshotPath(dir, machineID string) string {
+	return filepath.Join(dir, machineID+snapshotExt)
+}
+
+// createJournal starts a fresh journal for machineID, writing the
+// header line. It fails if the file already exists — machine IDs are
+// never reused, so an existing file means a registry/journal mismatch.
+func createJournal(dir, machineID string, sync bool) (*journal, error) {
+	path := journalPath(dir, machineID)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("affinityd: create journal: %w", err)
+	}
+	j := &journal{path: path, f: f, sync: sync}
+	if _, err := f.WriteString(journalMagic + " " + machineID + "\n"); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("affinityd: write journal header: %w", err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// reopenJournal opens an existing journal for appending after replay
+// verified it, truncating a torn tail to tornSize first so the next
+// append starts on a record boundary.
+func reopenJournal(path string, lastSeq uint64, tornSize int64, sync bool) (*journal, error) {
+	if tornSize >= 0 {
+		if err := os.Truncate(path, tornSize); err != nil {
+			return nil, fmt.Errorf("affinityd: truncate torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("affinityd: reopen journal: %w", err)
+	}
+	return &journal{path: path, f: f, seq: lastSeq, sync: sync}, nil
+}
+
+// append commits one record: assigns the next sequence number,
+// marshals, and writes the framed line in a single syscall. The record
+// is committed once append returns — the caller executes it only after.
+func (j *journal) append(rec *Record) error {
+	rec.Seq = j.seq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("affinityd: marshal journal record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("affinityd: append journal record: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("affinityd: sync journal: %w", err)
+		}
+	}
+	j.seq = rec.Seq
+	return nil
+}
+
+func (j *journal) close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// journalLog is the read side: the verified contents of one journal
+// file, ready to replay.
+type journalLog struct {
+	path      string
+	machineID string
+	records   []Record
+	// tornSize is the byte offset the file must be truncated to before
+	// appending resumes; -1 when the file ends cleanly.
+	tornSize int64
+	torn     bool
+}
+
+// readJournal parses and verifies a journal file. A torn tail is
+// tolerated and reported via the returned log; everything else that is
+// wrong fails with a typed *JournalError.
+func readJournal(path string) (*journalLog, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("affinityd: read journal: %w", err)
+	}
+	lg := &journalLog{path: path, tornSize: -1}
+
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, &JournalError{Path: path, Line: 1, Reason: "missing header line"}
+	}
+	header := string(data[:nl])
+	magic, machineID, ok := strings.Cut(header, " ")
+	if !ok || magic != journalMagic || machineID == "" {
+		return nil, &JournalError{Path: path, Line: 1,
+			Reason: fmt.Sprintf("bad header %q (want %q <machine-id>)", header, journalMagic)}
+	}
+	lg.machineID = machineID
+
+	offset := int64(nl + 1)
+	rest := data[nl+1:]
+	lineNo := 1
+	for len(rest) > 0 {
+		lineNo++
+		end := bytes.IndexByte(rest, '\n')
+		if end < 0 {
+			// No terminating newline: the write was cut short. This can
+			// only legally be the final record — and here it is, by
+			// construction of the scan.
+			lg.torn = true
+			lg.tornSize = offset
+			break
+		}
+		line := rest[:end]
+		rec, perr := parseRecord(line)
+		if perr != nil {
+			if len(rest) == end+1 {
+				// Complete-looking final line that fails its CRC or JSON:
+				// still the signature of an interrupted append (the frame
+				// bytes landed, the payload didn't). Truncate it away.
+				lg.torn = true
+				lg.tornSize = offset
+				break
+			}
+			return nil, &JournalError{Path: path, Line: lineNo, Reason: perr.Error()}
+		}
+		if want := uint64(len(lg.records) + 1); rec.Seq != want {
+			return nil, &JournalError{Path: path, Line: lineNo,
+				Reason: fmt.Sprintf("sequence gap: record %d, want %d", rec.Seq, want)}
+		}
+		lg.records = append(lg.records, rec)
+		offset += int64(end + 1)
+		rest = rest[end+1:]
+	}
+	if len(lg.records) == 0 || lg.records[0].Kind != recRegister || lg.records[0].Spec == nil {
+		return nil, &JournalError{Path: path, Line: 2,
+			Reason: "journal does not begin with a register record"}
+	}
+	return lg, nil
+}
+
+// parseRecord decodes one framed line: crc32 hex, space, JSON payload.
+func parseRecord(line []byte) (Record, error) {
+	var rec Record
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, fmt.Errorf("short or unframed record (%d bytes)", len(line))
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return rec, fmt.Errorf("bad crc field %q", line[:8])
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return rec, fmt.Errorf("crc mismatch: computed %08x, recorded %08x", got, want)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return rec, fmt.Errorf("record does not parse: %v", err)
+	}
+	switch rec.Kind {
+	case recRegister, recPool, recAlloc, recFree:
+	default:
+		return rec, fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+	return rec, nil
+}
+
+// Snapshot is the periodic consistency checkpoint beside a journal: the
+// serving counters and a hash of the live placement state at one
+// sequence number. Replay verifies StateSum when it passes Seq; a
+// mismatch means journal and snapshot disagree about history and
+// recovery fails loudly.
+type Snapshot struct {
+	MachineID   string `json:"machine_id"`
+	Seq         uint64 `json:"seq"`
+	Allocs      uint64 `json:"allocs"`
+	Frees       uint64 `json:"frees"`
+	AllocErrors uint64 `json:"alloc_errors"`
+	LiveHandles int    `json:"live_handles"`
+	Batches     int    `json:"batches"` // committed idempotency keys
+	StateSum    string `json:"state_sum"`
+}
+
+// stateSum hashes the live placement state — sorted (id, base, bytes)
+// triples — into the checksum snapshots carry. FNV-64a is plenty: this
+// guards against divergent replay, not adversaries.
+func stateSum(handles map[string]*handle) string {
+	ids := make([]string, 0, len(handles))
+	for id := range handles {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	h := fnv.New64a()
+	for _, id := range ids {
+		hd := handles[id]
+		fmt.Fprintf(h, "%s=%x:%x\n", id, uint64(hd.base), hd.bytes)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// writeSnapshot writes snap atomically (temp file + rename), so a crash
+// mid-snapshot leaves the previous snapshot intact, never a torn one.
+func writeSnapshot(path string, snap *Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("affinityd: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("affinityd: publish snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads a snapshot; a missing file is (nil, nil) — having
+// no snapshot yet is normal, a malformed one is not.
+func readSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var snap Snapshot
+	dec := json.NewDecoder(bufio.NewReader(f))
+	if err := dec.Decode(&snap); err != nil {
+		return nil, &JournalError{Path: path, Reason: fmt.Sprintf("snapshot does not parse: %v", err)}
+	}
+	if snap.Seq == 0 || snap.MachineID == "" || snap.StateSum == "" {
+		return nil, &JournalError{Path: path, Reason: "snapshot missing seq, machine_id, or state_sum"}
+	}
+	return &snap, nil
+}

@@ -1,0 +1,210 @@
+package affinityd
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestJournalRoundTrip pins the framing: records appended through the
+// write side read back identically through the read side, in order,
+// with consecutive sequence numbers.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := createJournal(dir, "m000001", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*Record{
+		{Kind: recRegister, Spec: &MachineSpec{Seed: 7, Policy: "hybrid5"}},
+		{Kind: recPool, Interleave: 64},
+		{Kind: recAlloc, Batch: "b1", Allocs: []AllocRequest{{ID: "a", ElemSize: 4, NumElem: 64}}},
+		{Kind: recFree, Batch: "b2", Frees: []string{"a"}},
+	}
+	for _, r := range recs {
+		if err := j.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lg, err := readJournal(journalPath(dir, "m000001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.torn {
+		t.Error("clean journal reported torn")
+	}
+	if lg.machineID != "m000001" {
+		t.Errorf("machine ID %q, want m000001", lg.machineID)
+	}
+	if len(lg.records) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(lg.records), len(recs))
+	}
+	for i, got := range lg.records {
+		if got.Seq != uint64(i+1) {
+			t.Errorf("record %d has seq %d, want %d", i, got.Seq, i+1)
+		}
+		if got.Kind != recs[i].Kind || got.Batch != recs[i].Batch {
+			t.Errorf("record %d = %+v, want kind %q batch %q", i, got, recs[i].Kind, recs[i].Batch)
+		}
+	}
+	if lg.records[2].Allocs[0].ID != "a" {
+		t.Errorf("alloc payload lost: %+v", lg.records[2])
+	}
+}
+
+// TestJournalTornTailTruncates pins the kill -9 contract: a final line
+// cut short mid-write (no newline, or a complete-looking line whose CRC
+// fails) is a torn tail — truncated and reported, never an error — and
+// reopening resumes appending on the record boundary.
+func TestJournalTornTailTruncates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tail string
+	}{
+		{"no_newline", `deadbeef {"seq":3,"kind":"pool","interl`},
+		{"bad_crc_last_line", `deadbeef {"seq":3,"kind":"pool","interleave":64}` + "\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := createJournal(dir, "m000001", false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.append(&Record{Kind: recRegister, Spec: &MachineSpec{Seed: 1}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.append(&Record{Kind: recPool, Interleave: 64}); err != nil {
+				t.Fatal(err)
+			}
+			j.close()
+			path := journalPath(dir, "m000001")
+			clean, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(clean, tc.tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			lg, err := readJournal(path)
+			if err != nil {
+				t.Fatalf("torn tail must not fail the read: %v", err)
+			}
+			if !lg.torn {
+				t.Fatal("torn tail not reported")
+			}
+			if len(lg.records) != 2 {
+				t.Fatalf("read %d records, want the 2 committed ones", len(lg.records))
+			}
+			if lg.tornSize != int64(len(clean)) {
+				t.Errorf("tornSize %d, want %d (the clean prefix)", lg.tornSize, len(clean))
+			}
+
+			// Reopen truncates and appending resumes at seq 3.
+			j2, err := reopenJournal(path, 2, lg.tornSize, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j2.append(&Record{Kind: recPool, Interleave: 128}); err != nil {
+				t.Fatal(err)
+			}
+			j2.close()
+			lg2, err := readJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lg2.torn || len(lg2.records) != 3 || lg2.records[2].Seq != 3 {
+				t.Errorf("after reopen: torn=%v records=%d", lg2.torn, len(lg2.records))
+			}
+		})
+	}
+}
+
+// TestJournalCorruptionFailsLoudly pins the loud-failure contract: a
+// malformed record anywhere before the tail is corruption, reported as
+// a typed *JournalError naming the file and line — never silently
+// skipped.
+func TestJournalCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	j, err := createJournal(dir, "m000001", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Record{
+		{Kind: recRegister, Spec: &MachineSpec{Seed: 1}},
+		{Kind: recPool, Interleave: 64},
+		{Kind: recPool, Interleave: 128},
+	} {
+		if err := j.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.close()
+	path := journalPath(dir, "m000001")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the middle record's payload.
+	lines := strings.SplitAfter(string(data), "\n")
+	mid := []byte(lines[2])
+	mid[len(mid)/2] ^= 0x01
+	lines[2] = string(mid)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = readJournal(path)
+	var jerr *JournalError
+	if !errors.As(err, &jerr) {
+		t.Fatalf("corrupt middle record returned %v, want a *JournalError", err)
+	}
+	if jerr.Path != path || jerr.Line != 3 {
+		t.Errorf("error names %s:%d, want %s:3", jerr.Path, jerr.Line, path)
+	}
+
+	// Sequence gaps are corruption too: drop the middle record entirely.
+	if err := os.WriteFile(path, []byte(lines[0]+lines[1]+lines[3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readJournal(path); !errors.As(err, &jerr) {
+		t.Fatalf("sequence gap returned %v, want a *JournalError", err)
+	}
+}
+
+// TestSnapshotRoundTrip pins snapshot atomicity plumbing: write, read
+// back, and the missing-file case is (nil, nil).
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := snapshotPath(dir, "m000001")
+	if snap, err := readSnapshot(path); snap != nil || err != nil {
+		t.Fatalf("missing snapshot = (%v, %v), want (nil, nil)", snap, err)
+	}
+	want := &Snapshot{MachineID: "m000001", Seq: 42, Allocs: 30, Frees: 5,
+		LiveHandles: 25, Batches: 10, StateSum: "00deadbeef000000"}
+	if err := writeSnapshot(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("snapshot round trip changed the value: %+v vs %+v", got, want)
+	}
+
+	// A malformed snapshot is loud, like a malformed journal.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var jerr *JournalError
+	if _, err := readSnapshot(path); !errors.As(err, &jerr) {
+		t.Errorf("malformed snapshot returned %v, want a *JournalError", err)
+	}
+}

@@ -22,6 +22,7 @@ type StreamGen struct {
 	stream int
 	rng    *rand.Rand
 	next   int
+	step   int
 
 	// live affine AffAlloc handles, eligible as edge targets and frees.
 	live []liveArray
@@ -41,15 +42,24 @@ func NewStreamGen(seed int64, stream int) *StreamGen {
 }
 
 // Step is one generated round: an allocation batch to POST to /alloc
-// followed by IDs to POST to /free.
+// followed by IDs to POST to /free. AllocBatch and FreeBatch are the
+// deterministic idempotency keys for the two wire calls: derived from
+// (stream, step), so a retried or replayed step carries the same key
+// and the server's dedup cache makes the retry exactly-once.
 type Step struct {
-	Allocs []AllocRequest
-	Frees  []string
+	Allocs     []AllocRequest
+	Frees      []string
+	AllocBatch string
+	FreeBatch  string
 }
 
 // NextStep generates the next round with n allocation requests.
 func (g *StreamGen) NextStep(n int) Step {
-	var st Step
+	st := Step{
+		AllocBatch: fmt.Sprintf("s%d-a%d", g.stream, g.step),
+		FreeBatch:  fmt.Sprintf("s%d-f%d", g.stream, g.step),
+	}
+	g.step++
 	for i := 0; i < n; i++ {
 		st.Allocs = append(st.Allocs, g.nextAlloc())
 	}

@@ -18,6 +18,17 @@ import (
 // teardown (DELETE or server shutdown).
 var errMachineClosed = errors.New("affinityd: machine closed")
 
+// errReplaying is returned for submissions against a machine still
+// replaying its journal after a restart: the placement state is not yet
+// reconstructed, so serving would answer from the wrong history. The
+// wire maps it to 503 + Retry-After, never 404 — the machine exists.
+var errReplaying = errors.New("affinityd: machine is replaying its journal")
+
+// errOverloaded is returned when a machine's bounded admission queue is
+// full: the server sheds the request (503 + Retry-After) instead of
+// queueing unboundedly. The client retry loop backs off and resubmits.
+var errOverloaded = errors.New("affinityd: admission queue full")
+
 // poolDomain is the serving-side bookkeeping of one interleave pool.
 // Each pool is its own lock domain: an allocation touches only the
 // domain of the pool its placement landed in, so traffic across pools
@@ -116,28 +127,13 @@ type handle struct {
 	bytes    int64
 }
 
-// job is one admitted unit of work: an allocation batch, a free batch,
-// or a pool-open. Exactly one jobResult is delivered per job.
-type job struct {
-	allocs   []AllocRequest
-	frees    []string
-	openPool int
-	out      chan jobResult
-}
-
-type jobResult struct {
-	placements []Placement
-	freed      []FreeResult
-	pool       PoolInfo
-	err        error
-}
-
 // machine is one registered tenant machine: a full simulated system
-// plus the serving state around it. Placement state (the sys.System and
-// the handle table) is owned by a single worker goroutine — the lock
-// domain the deterministic allocator requires — while reads that the
-// wire API serves concurrently (pool stats, counters) live in the
-// sharded poolTable and atomics.
+// plus the serving state around it. Placement state (the sys.System,
+// the handle table, the batch dedup cache, and the journal append side)
+// is owned by a single goroutine — the worker once serving, the
+// recovery goroutine during replay — while reads that the wire API
+// serves concurrently (pool stats, counters) live in the sharded
+// poolTable and atomics.
 type machine struct {
 	id      string
 	spec    MachineSpec
@@ -149,6 +145,12 @@ type machine struct {
 	quit    chan struct{}
 	done    chan struct{}
 	closing atomic.Bool
+	// replaying marks a machine whose journal is still being replayed
+	// after a restart; submissions get errReplaying until it clears.
+	replaying atomic.Bool
+	// started records whether the worker goroutine is running (false
+	// while replaying), so stop knows whether to wait for it.
+	started atomic.Bool
 	// inflight tracks submitters between the closing check and the
 	// channel send, so teardown can drain every admitted job.
 	inflight sync.WaitGroup
@@ -156,11 +158,33 @@ type machine struct {
 	// handles is worker-owned: IDs of live allocations.
 	handles map[string]*handle
 
-	pools       poolTable
-	allocs      atomic.Uint64
-	frees       atomic.Uint64
-	allocErrs   atomic.Uint64
-	handleCount atomic.Int64
+	// Idempotency dedup, worker-owned. seen is the complete set of
+	// committed batch IDs (rebuilt from the journal on recovery);
+	// results keeps the batchResultCap most recent batch outcomes so a
+	// retried batch returns its original placements byte-identically.
+	seen    map[string]struct{}
+	results map[string]jobResult
+	order   []string
+
+	// journal is the machine's write-ahead append side; nil when the
+	// server runs without -journal. Owned by whichever goroutine owns
+	// the placement state. journalSeq mirrors journal.seq for lock-free
+	// metric scrapes.
+	journal    *journal
+	journalSeq atomic.Uint64
+	snapPath   string
+	snapEvery  int
+	sinceSnap  int
+	snapshots  atomic.Uint64
+
+	pools         poolTable
+	allocs        atomic.Uint64
+	frees         atomic.Uint64
+	allocErrs     atomic.Uint64
+	handleCount   atomic.Int64
+	sheds         atomic.Uint64
+	deadlineDrops atomic.Uint64
+	dedupHits     atomic.Uint64
 
 	// latency is the server-wide placement-latency histogram (shared
 	// across machines; the worker observes one sample per placement).
@@ -168,100 +192,229 @@ type machine struct {
 	batches *atomic.Uint64 // admitted batches, server-wide
 }
 
-// admitMax bounds how many queued jobs one admission round coalesces.
-const defaultAdmitMax = 32
+// batchResultCap bounds the cached batch results per machine: the
+// idempotency *window*. Batch IDs beyond it are still recognized as
+// committed (never re-executed), but their cached response has aged
+// out, so a very late retry gets a named error instead of placements.
+const batchResultCap = 4096
 
-func newMachine(id string, spec MachineSpec, cfg sys.Config, s *sys.System, latency *telemetry.Hist, batches *atomic.Uint64) *machine {
-	m := &machine{
-		id:      id,
-		spec:    spec,
-		cfg:     cfg,
-		sys:     s,
-		created: time.Now(),
-		jobs:    make(chan *job, 256),
-		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
-		handles: make(map[string]*handle),
-		latency: latency,
-		batches: batches,
+// machineOpts carries the server-side wiring a machine is built with.
+type machineOpts struct {
+	queueDepth int
+	journal    *journal // nil = journaling off
+	snapPath   string
+	snapEvery  int
+	latency    *telemetry.Hist
+	batches    *atomic.Uint64
+	// replaying builds the machine in replay mode: the worker is not
+	// started and submissions 503 until finishReplay.
+	replaying bool
+}
+
+func newMachine(id string, spec MachineSpec, cfg sys.Config, s *sys.System, o machineOpts) *machine {
+	if o.queueDepth <= 0 {
+		o.queueDepth = defaultQueueDepth
 	}
-	go m.serve()
+	m := &machine{
+		id:        id,
+		spec:      spec,
+		cfg:       cfg,
+		sys:       s,
+		created:   time.Now(),
+		jobs:      make(chan *job, o.queueDepth),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		handles:   make(map[string]*handle),
+		seen:      make(map[string]struct{}),
+		results:   make(map[string]jobResult),
+		journal:   o.journal,
+		snapPath:  o.snapPath,
+		snapEvery: o.snapEvery,
+		latency:   o.latency,
+		batches:   o.batches,
+	}
+	if m.journal != nil {
+		m.journalSeq.Store(m.journal.seq)
+	}
+	if o.replaying {
+		m.replaying.Store(true)
+		return m
+	}
+	m.startWorker()
 	return m
 }
 
-// submit hands a job to the worker. The reply arrives on j.out exactly
-// once, whether the job executed or the machine closed underneath it.
-func (m *machine) submit(j *job) error {
-	m.inflight.Add(1)
-	defer m.inflight.Done()
-	if m.closing.Load() {
-		return errMachineClosed
-	}
-	select {
-	case m.jobs <- j:
-		return nil
-	case <-m.quit:
-		return errMachineClosed
-	}
+// startWorker begins serving; placement-state ownership passes to the
+// worker goroutine.
+func (m *machine) startWorker() {
+	m.started.Store(true)
+	go m.serve()
+}
+
+// finishReplay flips a recovered machine into serving: replay has
+// reconstructed the placement state, the journal is reopened for
+// appends, and the worker takes ownership.
+func (m *machine) finishReplay() {
+	m.replaying.Store(false)
+	m.startWorker()
 }
 
 // stop tears the machine down: new submissions fail, queued jobs are
-// answered with errMachineClosed, and the worker exits.
+// answered with errMachineClosed, the worker exits, and the journal is
+// closed.
 func (m *machine) stop() {
 	if m.closing.CompareAndSwap(false, true) {
 		close(m.quit)
 	}
-	<-m.done
-}
-
-// serve is the worker loop: one goroutine owns the machine's placement
-// state, admitting queued jobs in batches so concurrent tenant streams
-// amortize the queue handoff, and executing them in admission order —
-// which is what keeps a seeded request stream deterministic.
-func (m *machine) serve() {
-	defer close(m.done)
-	for {
-		var first *job
-		select {
-		case first = <-m.jobs:
-		case <-m.quit:
-			m.drainAndFail()
-			return
-		}
-		batch := []*job{first}
-		for len(batch) < defaultAdmitMax {
-			select {
-			case j := <-m.jobs:
-				batch = append(batch, j)
-			default:
-				goto admitted
-			}
-		}
-	admitted:
-		m.batches.Add(1)
-		for _, j := range batch {
-			j.out <- m.exec(j)
-		}
+	if m.started.Load() {
+		<-m.done
 	}
+	_ = m.journal.close()
 }
 
-// drainAndFail answers every job still queued at teardown. inflight
-// waits for submitters that already passed the closing check; after it
-// returns, nothing else can enter the channel.
-func (m *machine) drainAndFail() {
-	m.inflight.Wait()
-	for {
-		select {
-		case j := <-m.jobs:
-			j.out <- jobResult{err: errMachineClosed}
-		default:
-			return
-		}
-	}
-}
-
-// exec runs one job against the worker-owned placement state.
+// exec runs one job against the owned placement state: deadline check,
+// idempotency dedup, write-ahead journal append, then execution. The
+// append happens strictly before execution — a journaled record is a
+// committed operation, and replay re-executes exactly the committed
+// prefix. Conversely a job dropped before its append (expired deadline,
+// journal write failure) has provably not executed, so the client may
+// retry it freely.
 func (m *machine) exec(j *job) jobResult {
+	if j.block != nil {
+		if j.entered != nil {
+			close(j.entered)
+		}
+		<-j.block // test hook: hold the worker to fill the queue
+	}
+	if j.ctx != nil {
+		if err := j.ctx.Err(); err != nil {
+			m.deadlineDrops.Add(1)
+			return jobResult{err: err}
+		}
+	}
+	if j.batch != "" {
+		if res, ok := m.committed(j.batch); ok {
+			return res
+		}
+	}
+	if m.journal != nil {
+		if rec := recordForJob(j); rec != nil {
+			if err := m.journal.append(rec); err != nil {
+				return jobResult{err: err}
+			}
+			m.journalSeq.Store(m.journal.seq)
+		}
+	}
+	res := m.apply(j)
+	if j.batch != "" {
+		m.remember(j.batch, res)
+	}
+	m.maybeSnapshot()
+	return res
+}
+
+// committed answers a duplicate batch ID from the dedup cache. The
+// operation is never re-executed; a retry whose result has aged out of
+// the window gets a named error instead of double-allocating.
+func (m *machine) committed(batch string) (jobResult, bool) {
+	if _, ok := m.seen[batch]; !ok {
+		return jobResult{}, false
+	}
+	m.dedupHits.Add(1)
+	res, ok := m.results[batch]
+	if !ok {
+		return jobResult{err: fmt.Errorf(
+			"affinityd: batch %q already committed, but its result aged out of the %d-batch idempotency window",
+			batch, batchResultCap)}, true
+	}
+	res.replayed = true
+	return res, true
+}
+
+// remember caches a committed batch's outcome, evicting the oldest
+// cached result past batchResultCap. seen is never evicted: committed
+// IDs stay recognized for the machine's lifetime.
+func (m *machine) remember(batch string, res jobResult) {
+	if _, dup := m.seen[batch]; dup {
+		return
+	}
+	m.seen[batch] = struct{}{}
+	m.results[batch] = res
+	m.order = append(m.order, batch)
+	if len(m.order) > batchResultCap {
+		evict := m.order[0]
+		m.order = m.order[1:]
+		delete(m.results, evict)
+	}
+}
+
+// recordForJob builds the journal record for a state-changing job; nil
+// for jobs that need no durability.
+func recordForJob(j *job) *Record {
+	switch {
+	case j.openPool != 0:
+		return &Record{Kind: recPool, Interleave: j.openPool}
+	case len(j.frees) > 0:
+		return &Record{Kind: recFree, Batch: j.batch, Frees: j.frees}
+	case len(j.allocs) > 0:
+		return &Record{Kind: recAlloc, Batch: j.batch, Allocs: j.allocs}
+	}
+	return nil
+}
+
+// applyRecord replays one committed record during recovery: the same
+// execution path as serving (apply + remember), minus re-journaling.
+// Operation-level failures are not recovery failures — a journaled
+// batch that failed deterministically fails identically on replay,
+// which is exactly the reconstruction we want.
+func (m *machine) applyRecord(rec *Record) {
+	var j *job
+	switch rec.Kind {
+	case recRegister:
+		return // consumed when the machine was rebuilt
+	case recPool:
+		j = &job{openPool: rec.Interleave}
+	case recAlloc:
+		j = &job{allocs: rec.Allocs, batch: rec.Batch}
+	case recFree:
+		j = &job{frees: rec.Frees, batch: rec.Batch}
+	default:
+		return // readJournal rejects unknown kinds before replay
+	}
+	res := m.apply(j)
+	if j.batch != "" {
+		m.remember(j.batch, res)
+	}
+}
+
+// maybeSnapshot writes the periodic consistency checkpoint after every
+// snapEvery committed records.
+func (m *machine) maybeSnapshot() {
+	if m.journal == nil || m.snapEvery <= 0 {
+		return
+	}
+	m.sinceSnap++
+	if m.sinceSnap < m.snapEvery {
+		return
+	}
+	m.sinceSnap = 0
+	snap := &Snapshot{
+		MachineID:   m.id,
+		Seq:         m.journal.seq,
+		Allocs:      m.allocs.Load(),
+		Frees:       m.frees.Load(),
+		AllocErrors: m.allocErrs.Load(),
+		LiveHandles: len(m.handles),
+		Batches:     len(m.seen),
+		StateSum:    stateSum(m.handles),
+	}
+	if writeSnapshot(m.snapPath, snap) == nil {
+		m.snapshots.Add(1)
+	}
+}
+
+// apply executes one job body against the owned placement state.
+func (m *machine) apply(j *job) jobResult {
 	if j.openPool != 0 {
 		pool, err := m.execOpenPool(j.openPool)
 		return jobResult{pool: pool, err: err}

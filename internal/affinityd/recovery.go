@@ -1,0 +1,260 @@
+package affinityd
+
+// Recovery restores journaled machines after a restart, in two phases
+// so failure is loud and unavailability is observable:
+//
+//  1. PrepareRecovery — synchronous, before the listener opens. Every
+//     journal in Options.JournalDir is read and verified end to end
+//     (header, CRC per record, consecutive sequence numbers, snapshot
+//     well-formedness). Corruption fails startup here with a typed
+//     *JournalError: the daemon refuses to come up and serve a machine
+//     whose history is wrong. Machines that verify are rebuilt from
+//     their register record and installed in replaying mode — they
+//     exist (GET answers, requests get 503 + Retry-After, never 404)
+//     but serve nothing yet, and /readyz reports not-ready.
+//
+//  2. Replay — typically after the listener opens, so /healthz and
+//     /readyz answer during a long replay. Each machine's record
+//     stream is re-executed through the same placement entry points
+//     serving uses; determinism makes the result byte-identical to the
+//     pre-crash state. When replay passes a snapshot's sequence number
+//     the reconstructed state must hash to the snapshot's state sum.
+//     Torn journal tails are truncated, journals reopen for appending,
+//     and each machine flips to serving as its own replay completes.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"affinityalloc/internal/sys"
+)
+
+// RecoveryStats summarizes what recovery did.
+type RecoveryStats struct {
+	// Machines recovered (journals found and verified).
+	Machines int
+	// Records replayed across all machines (excluding register records).
+	Records int
+	// TornTails truncated — journals whose final append was cut short.
+	TornTails int
+	// Snapshots verified against replayed state.
+	Snapshots int
+}
+
+func (st RecoveryStats) String() string {
+	return fmt.Sprintf("%d machine(s), %d record(s) replayed, %d torn tail(s) truncated, %d snapshot(s) verified",
+		st.Machines, st.Records, st.TornTails, st.Snapshots)
+}
+
+// Recovery is the handle between the two phases.
+type Recovery struct {
+	s       *Server
+	pending []*pendingMachine
+	stats   RecoveryStats
+}
+
+// pendingMachine is one verified-but-not-yet-replayed machine.
+type pendingMachine struct {
+	m    *machine
+	log  *journalLog
+	snap *Snapshot
+}
+
+// PrepareRecovery runs phase one. On success the returned Recovery
+// holds every journaled machine, installed in replaying mode; call
+// Replay to reconstruct their state. With no journal directory (or an
+// empty one) it returns an empty Recovery and Replay is a no-op.
+func (s *Server) PrepareRecovery() (*Recovery, error) {
+	r := &Recovery{s: s}
+	if s.opts.JournalDir == "" {
+		return r, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(s.opts.JournalDir, "*"+journalExt))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var maxID uint64
+	for _, path := range paths {
+		id := strings.TrimSuffix(filepath.Base(path), journalExt)
+		lg, err := readJournal(path)
+		if err != nil {
+			return nil, err
+		}
+		if lg.machineID != id {
+			return nil, &JournalError{Path: path, Line: 1,
+				Reason: fmt.Sprintf("header names machine %q but the file is %s%s", lg.machineID, id, journalExt)}
+		}
+		snapPath := snapshotPath(s.opts.JournalDir, id)
+		snap, err := readSnapshot(snapPath)
+		if err != nil {
+			return nil, err
+		}
+		lastSeq := lg.records[len(lg.records)-1].Seq
+		if snap != nil {
+			if snap.MachineID != id {
+				return nil, &JournalError{Path: snapPath,
+					Reason: fmt.Sprintf("snapshot names machine %q, want %q", snap.MachineID, id)}
+			}
+			if snap.Seq > lastSeq {
+				return nil, &JournalError{Path: snapPath,
+					Reason: fmt.Sprintf("snapshot is at seq %d but the journal ends at %d", snap.Seq, lastSeq)}
+			}
+		}
+
+		// The register record carries the spec the tenant actually got
+		// (fleet defaults already merged at original registration), so
+		// it is rebuilt verbatim — today's -seed/-policy flags don't
+		// rewrite history.
+		spec := *lg.records[0].Spec
+		cfg, err := buildConfig(spec)
+		if err != nil {
+			return nil, &JournalError{Path: path, Line: 2,
+				Reason: fmt.Sprintf("register record does not build: %v", err)}
+		}
+		system, err := sys.New(cfg)
+		if err != nil {
+			return nil, &JournalError{Path: path, Line: 2,
+				Reason: fmt.Sprintf("register record does not build: %v", err)}
+		}
+		m := newMachine(id, spec, cfg, system, machineOpts{
+			queueDepth: s.opts.QueueDepth,
+			snapPath:   snapPath,
+			snapEvery:  s.opts.SnapshotEvery,
+			latency:    &s.placements,
+			batches:    &s.batches,
+			replaying:  true,
+		})
+		if err := s.install(m); err != nil {
+			return nil, err
+		}
+		s.replayingN.Add(1)
+		r.pending = append(r.pending, &pendingMachine{m: m, log: lg, snap: snap})
+		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "m"), 10, 64); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	// New registrations must not collide with recovered machine IDs.
+	for {
+		cur := s.nextID.Load()
+		if cur >= maxID || s.nextID.CompareAndSwap(cur, maxID) {
+			break
+		}
+	}
+	r.stats.Machines = len(r.pending)
+	return r, nil
+}
+
+// Replay runs phase two: re-executes every verified journal, checks
+// snapshots against the reconstructed state, truncates torn tails,
+// reopens journals for appending, and flips each machine to serving.
+// On error the offending machine stays in replaying mode (still 503,
+// never wrong answers) and the error says why.
+func (r *Recovery) Replay() (RecoveryStats, error) {
+	for _, p := range r.pending {
+		if err := r.replayOne(p); err != nil {
+			return r.stats, err
+		}
+		r.s.replayingN.Add(-1)
+		r.s.recoveredMach.Add(1)
+	}
+	return r.stats, nil
+}
+
+func (r *Recovery) replayOne(p *pendingMachine) error {
+	m, lg := p.m, p.log
+	for i := range lg.records {
+		rec := &lg.records[i]
+		if rec.Kind == recRegister {
+			if rec.Seq != 1 {
+				return &JournalError{Path: lg.path,
+					Reason: fmt.Sprintf("register record at seq %d, want 1", rec.Seq)}
+			}
+			continue
+		}
+		m.applyRecord(rec)
+		r.stats.Records++
+		r.s.replayedRecords.Add(1)
+		if p.snap != nil && rec.Seq == p.snap.Seq {
+			if err := verifySnapshot(p.snap, m); err != nil {
+				return err
+			}
+			r.stats.Snapshots++
+		}
+	}
+	if lg.torn {
+		r.stats.TornTails++
+	}
+
+	lastSeq := lg.records[len(lg.records)-1].Seq
+	tornSize := int64(-1)
+	if lg.torn {
+		tornSize = lg.tornSize
+	}
+	j, err := reopenJournal(lg.path, lastSeq, tornSize, r.s.opts.SyncWrites)
+	if err != nil {
+		return err
+	}
+	m.journal = j
+	m.journalSeq.Store(lastSeq)
+	// Records replayed past the last snapshot count toward the next one.
+	if p.snap != nil {
+		m.sinceSnap = int(lastSeq - p.snap.Seq)
+	} else {
+		m.sinceSnap = int(lastSeq)
+	}
+	m.finishReplay()
+	return nil
+}
+
+// verifySnapshot cross-checks a snapshot against the state replay
+// reconstructed at the snapshot's sequence number.
+func verifySnapshot(snap *Snapshot, m *machine) error {
+	if got := stateSum(m.handles); got != snap.StateSum {
+		return &JournalError{Path: m.snapPath, Reason: fmt.Sprintf(
+			"state sum mismatch at seq %d: replay %s, snapshot %s — journal and snapshot disagree about history",
+			snap.Seq, got, snap.StateSum)}
+	}
+	if got := m.allocs.Load(); got != snap.Allocs {
+		return &JournalError{Path: m.snapPath, Reason: fmt.Sprintf(
+			"alloc count mismatch at seq %d: replay %d, snapshot %d", snap.Seq, got, snap.Allocs)}
+	}
+	if got := len(m.handles); got != snap.LiveHandles {
+		return &JournalError{Path: m.snapPath, Reason: fmt.Sprintf(
+			"live handle count mismatch at seq %d: replay %d, snapshot %d", snap.Seq, got, snap.LiveHandles)}
+	}
+	return nil
+}
+
+// Recover runs both phases back to back: verify, replay, serve. The
+// convenience form for tests and callers without a listener to open in
+// between.
+func (s *Server) Recover() (RecoveryStats, error) {
+	r, err := s.PrepareRecovery()
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	return r.Replay()
+}
+
+// RemoveJournalDir deletes every journal and snapshot under dir,
+// leaving other files alone. Operators use it (via -journal-reset) to
+// deliberately discard placement history.
+func RemoveJournalDir(dir string) error {
+	for _, ext := range []string{journalExt, snapshotExt} {
+		paths, err := filepath.Glob(filepath.Join(dir, "*"+ext))
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			if err := os.Remove(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,11 +1,14 @@
 package affinityd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,13 +19,43 @@ import (
 	"affinityalloc/internal/telemetry"
 )
 
+// deadlineHeader carries the client's per-request deadline budget in
+// whole milliseconds. The server enforces it server-side: the handler
+// context expires with it, and the worker drops still-queued jobs whose
+// deadline already passed instead of computing answers nobody awaits.
+const deadlineHeader = "Affinityd-Timeout-Ms"
+
+// retryAfterSeconds is the Retry-After hint on shed and not-ready 503s.
+const retryAfterSeconds = 1
+
 // Options parameterizes a Server.
 type Options struct {
 	// Defaults fills zero fields of every registered MachineSpec: the
 	// server's -seed/-policy/-faults flags become the fleet defaults a
 	// tenant inherits unless its registration overrides them.
 	Defaults MachineSpec
+
+	// JournalDir enables the per-machine write-ahead journal: every
+	// committed batch is appended under this directory before it
+	// executes, and Recover rebuilds byte-identical placement state
+	// from it after a crash. Empty = in-memory only.
+	JournalDir string
+	// SnapshotEvery writes a consistency checkpoint beside each journal
+	// every N committed records (default 256; negative disables).
+	SnapshotEvery int
+	// SyncWrites fsyncs every journal append. A kill -9 never loses
+	// committed records even without it (appends are unbuffered single
+	// writes); fsync is for surviving power loss at a latency cost.
+	SyncWrites bool
+	// QueueDepth bounds each machine's admission queue (default 256).
+	// A full queue sheds with 503 + Retry-After instead of queueing
+	// unboundedly.
+	QueueDepth int
 }
+
+// defaultSnapshotEvery is the snapshot cadence when Options leaves
+// SnapshotEvery zero.
+const defaultSnapshotEvery = 256
 
 // Server is the affinityd placement service: an http.Handler serving
 // the affinityd/v1 wire API over a registry of tenant machines.
@@ -34,30 +67,46 @@ type Options struct {
 // snapshot.
 type Server struct {
 	defaults MachineSpec
+	opts     Options
 	start    time.Time
 
 	regMu    sync.Mutex
 	machines atomic.Pointer[map[string]*machine]
 	nextID   atomic.Uint64
 	closed   atomic.Bool
+	// draining marks a server between "stop sending me traffic"
+	// (/readyz flips not-ready) and actual teardown, so load balancers
+	// and retrying clients move on while in-flight requests finish.
+	draining atomic.Bool
+	// replayingN counts machines still replaying their journals;
+	// /readyz reports not-ready until it reaches zero.
+	replayingN atomic.Int64
 
 	mux *http.ServeMux
 
 	// Serving counters, all lock-free.
-	requests   atomic.Uint64
-	errs       atomic.Uint64
-	batches    atomic.Uint64
-	placements telemetry.Hist // per-placement decision latency, ns
-	wire       telemetry.Hist // per-request wire service latency, ns
+	requests        atomic.Uint64
+	errs            atomic.Uint64
+	batches         atomic.Uint64
+	recoveredMach   atomic.Uint64
+	replayedRecords atomic.Uint64
+	placements      telemetry.Hist // per-placement decision latency, ns
+	wire            telemetry.Hist // per-request wire service latency, ns
 }
 
-// NewServer builds a server. Close releases its machines.
+// NewServer builds a server. Close releases its machines. If
+// opts.JournalDir is set, call Recover (or PrepareRecovery + Replay)
+// before serving traffic to restore journaled machines.
 func NewServer(opts Options) *Server {
-	s := &Server{defaults: opts.Defaults, start: time.Now()}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	s := &Server{defaults: opts.Defaults, opts: opts, start: time.Now()}
 	empty := map[string]*machine{}
 	s.machines.Store(&empty)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("POST /v1/machines", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/machines/{id}", s.handleMachineInfo)
@@ -76,10 +125,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.wire.Observe(uint64(time.Since(start)))
 }
 
+// Drain flips /readyz to not-ready without tearing anything down, so
+// traffic moves elsewhere while in-flight requests finish. Call it when
+// shutdown begins, before the HTTP server's graceful drain.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+}
+
 // Close stops every machine worker. In-flight requests racing Close get
 // a machine-closed error; call it after the HTTP server has drained.
 func (s *Server) Close() {
 	s.closed.Store(true)
+	s.draining.Store(true)
 	s.regMu.Lock()
 	snap := *s.machines.Load()
 	empty := map[string]*machine{}
@@ -142,6 +199,21 @@ func (s *Server) merge(spec MachineSpec) MachineSpec {
 	return spec
 }
 
+// machineOpts assembles the wiring a new machine shares with the server.
+func (s *Server) machineOpts(id string, j *journal) machineOpts {
+	o := machineOpts{
+		queueDepth: s.opts.QueueDepth,
+		journal:    j,
+		snapEvery:  s.opts.SnapshotEvery,
+		latency:    &s.placements,
+		batches:    &s.batches,
+	}
+	if j != nil {
+		o.snapPath = snapshotPath(s.opts.JournalDir, id)
+	}
+	return o
+}
+
 // Register assembles and registers a machine, returning its wire
 // description. It is the programmatic form of POST /v1/machines.
 func (s *Server) Register(spec MachineSpec) (RegisterResponse, error) {
@@ -155,22 +227,26 @@ func (s *Server) Register(spec MachineSpec) (RegisterResponse, error) {
 		return RegisterResponse{}, err
 	}
 	id := fmt.Sprintf("m%06d", s.nextID.Add(1))
-	m := newMachine(id, spec, cfg, system, &s.placements, &s.batches)
 
-	s.regMu.Lock()
-	if s.closed.Load() {
-		s.regMu.Unlock()
+	var j *journal
+	if s.opts.JournalDir != "" {
+		// The journal records the *merged* spec: replay must rebuild
+		// the machine a tenant actually got, not what a future restart's
+		// fleet defaults would hand out.
+		if j, err = createJournal(s.opts.JournalDir, id, s.opts.SyncWrites); err != nil {
+			return RegisterResponse{}, err
+		}
+		if err := j.append(&Record{Kind: recRegister, Spec: &spec}); err != nil {
+			j.close()
+			return RegisterResponse{}, err
+		}
+	}
+	m := newMachine(id, spec, cfg, system, s.machineOpts(id, j))
+
+	if err := s.install(m); err != nil {
 		m.stop()
-		return RegisterResponse{}, errMachineClosed
+		return RegisterResponse{}, err
 	}
-	old := *s.machines.Load()
-	next := make(map[string]*machine, len(old)+1)
-	for k, v := range old {
-		next[k] = v
-	}
-	next[id] = m
-	s.machines.Store(&next)
-	s.regMu.Unlock()
 
 	resp := RegisterResponse{
 		Version:   APIVersion,
@@ -185,7 +261,26 @@ func (s *Server) Register(spec MachineSpec) (RegisterResponse, error) {
 	return resp, nil
 }
 
+// install publishes a machine into the copy-on-write registry.
+func (s *Server) install(m *machine) error {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if s.closed.Load() {
+		return errMachineClosed
+	}
+	old := *s.machines.Load()
+	next := make(map[string]*machine, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[m.id] = m
+	s.machines.Store(&next)
+	return nil
+}
+
 // deregister removes and stops a machine; reports whether it existed.
+// A journaled machine's files are removed with it — deregistration is
+// the tenant saying this placement history is over.
 func (s *Server) deregister(id string) bool {
 	s.regMu.Lock()
 	old := *s.machines.Load()
@@ -202,12 +297,44 @@ func (s *Server) deregister(id string) bool {
 	s.regMu.Unlock()
 	if ok {
 		m.stop()
+		if s.opts.JournalDir != "" {
+			os.Remove(journalPath(s.opts.JournalDir, id))
+			os.Remove(snapshotPath(s.opts.JournalDir, id))
+		}
 	}
 	return ok
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "version": APIVersion})
+}
+
+// handleReadyz is readiness, distinct from liveness: a healthy daemon
+// mid-replay or mid-drain answers /healthz 200 (don't restart me) and
+// /readyz 503 (don't send me traffic yet / anymore).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if reason, ready := s.readiness(); !ready {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "not-ready", "reason": reason, "version": APIVersion,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "version": APIVersion})
+}
+
+// readiness reports whether the server should receive traffic.
+func (s *Server) readiness() (reason string, ready bool) {
+	if s.closed.Load() {
+		return "closed", false
+	}
+	if s.draining.Load() {
+		return "draining", false
+	}
+	if n := s.replayingN.Load(); n > 0 {
+		return fmt.Sprintf("replaying %d machine journal(s)", n), false
+	}
+	return "", true
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -217,6 +344,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.Register(req.Machine)
 	if err != nil {
+		if errors.Is(err, errMachineClosed) {
+			s.fail(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -251,7 +382,9 @@ func (s *Server) handleOpenPool(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	res, err := s.run(m, &job{openPool: req.Interleave})
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, err := s.run(ctx, m, &job{openPool: req.Interleave})
 	if err != nil {
 		s.failSubmit(w, err)
 		return
@@ -277,12 +410,21 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, errors.New("empty batch"))
 		return
 	}
-	res, err := s.run(m, &job{allocs: req.Requests})
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, err := s.run(ctx, m, &job{allocs: req.Requests, batch: req.BatchID})
 	if err != nil {
 		s.failSubmit(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, BatchAllocResponse{Version: APIVersion, MachineID: m.id, Placements: res.placements})
+	if res.err != nil {
+		s.fail(w, http.StatusConflict, res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchAllocResponse{
+		Version: APIVersion, MachineID: m.id,
+		Placements: res.placements, Replayed: res.replayed,
+	})
 }
 
 func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
@@ -299,25 +441,61 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, errors.New("empty free batch"))
 		return
 	}
-	res, err := s.run(m, &job{frees: req.IDs})
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, err := s.run(ctx, m, &job{frees: req.IDs, batch: req.BatchID})
 	if err != nil {
 		s.failSubmit(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, FreeResponse{Version: APIVersion, MachineID: m.id, Results: res.freed})
+	if res.err != nil {
+		s.fail(w, http.StatusConflict, res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FreeResponse{
+		Version: APIVersion, MachineID: m.id,
+		Results: res.freed, Replayed: res.replayed,
+	})
 }
 
-// run submits a job and waits for its single reply.
-func (s *Server) run(m *machine, j *job) (jobResult, error) {
+// requestContext derives the handler context: the connection context,
+// bounded further by the client's propagated deadline budget when the
+// request carries one.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if v := r.Header.Get(deadlineHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		}
+	}
+	return context.WithCancel(ctx)
+}
+
+// run submits a job and waits for its reply or the request deadline,
+// whichever comes first. The worker's reply channel is buffered, so an
+// abandoned job cannot wedge the worker; if the job was already
+// journaled it will still execute (committed is committed) and a retry
+// with the same batch ID collects the original result.
+func (s *Server) run(ctx context.Context, m *machine, j *job) (jobResult, error) {
+	j.ctx = ctx
 	j.out = make(chan jobResult, 1)
 	if err := m.submit(j); err != nil {
 		return jobResult{}, err
 	}
-	res := <-j.out
-	if res.err != nil && errors.Is(res.err, errMachineClosed) {
-		return jobResult{}, res.err
+	select {
+	case res := <-j.out:
+		if res.err != nil {
+			switch {
+			case errors.Is(res.err, errMachineClosed),
+				errors.Is(res.err, context.DeadlineExceeded),
+				errors.Is(res.err, context.Canceled):
+				return jobResult{}, res.err
+			}
+		}
+		return res, nil
+	case <-ctx.Done():
+		return jobResult{}, ctx.Err()
 	}
-	return res, nil
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
@@ -342,12 +520,31 @@ func (s *Server) MetricsDocument() *telemetry.Document {
 	}
 	snap := *s.machines.Load()
 
+	var sheds, drops, dedups, snaps uint64
+	for _, m := range snap {
+		sheds += m.sheds.Load()
+		drops += m.deadlineDrops.Load()
+		dedups += m.dedupHits.Load()
+		snaps += m.snapshots.Load()
+	}
+
 	r := telemetry.NewRegistry()
 	r.Set("cycles", uint64(time.Since(s.start)))
 	r.Set("requests", s.requests.Load())
 	r.Set("request_errors", s.errs.Load())
 	r.Set("batches_admitted", s.batches.Load())
 	r.Set("machines", uint64(len(snap)))
+	r.Set("sheds", sheds)
+	r.Set("deadline_drops", drops)
+	r.Set("batch_dedup_hits", dedups)
+	r.Set("snapshots", snaps)
+	r.Set("machines_recovered", s.recoveredMach.Load())
+	r.Set("replayed_records", s.replayedRecords.Load())
+	if _, ready := s.readiness(); ready {
+		r.Set("ready", 1)
+	} else {
+		r.Set("ready", 0)
+	}
 	s.placements.Publish(r, "placement_latency_ns")
 	s.wire.Publish(r, "request_latency_ns")
 	doc.AddCell("affinityd", r.Snapshot())
@@ -365,6 +562,13 @@ func (s *Server) MetricsDocument() *telemetry.Document {
 		r.Set("frees", m.frees.Load())
 		r.Set("alloc_errors", m.allocErrs.Load())
 		r.Set("live_handles", uint64(m.handleCount.Load()))
+		r.Set("sheds", m.sheds.Load())
+		r.Set("deadline_drops", m.deadlineDrops.Load())
+		r.Set("batch_dedup_hits", m.dedupHits.Load())
+		if m.journal != nil || m.journalSeq.Load() > 0 {
+			r.Set("journal_seq", m.journalSeq.Load())
+			r.Set("snapshots", m.snapshots.Load())
+		}
 		if pools := m.pools.infos(); len(pools) > 0 {
 			interleaves := make([]uint64, len(pools))
 			allocs := make([]uint64, len(pools))
@@ -394,14 +598,22 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// failSubmit maps submission errors: a closed machine is 503 (the
-// tenant raced a teardown), anything else a plain 400.
+// failSubmit maps admission and execution-path errors onto the wire:
+// shed and mid-replay are retryable 503s carrying Retry-After, a closed
+// machine is a plain 503 (the tenant raced a teardown), an expired
+// deadline is 504, anything else a plain 400.
 func (s *Server) failSubmit(w http.ResponseWriter, err error) {
-	if errors.Is(err, errMachineClosed) {
+	switch {
+	case errors.Is(err, errOverloaded), errors.Is(err, errReplaying):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		s.fail(w, http.StatusServiceUnavailable, err)
-		return
+	case errors.Is(err, errMachineClosed):
+		s.fail(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.fail(w, http.StatusGatewayTimeout, err)
+	default:
+		s.fail(w, http.StatusBadRequest, err)
 	}
-	s.fail(w, http.StatusBadRequest, err)
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {

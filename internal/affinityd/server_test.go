@@ -2,6 +2,7 @@ package affinityd
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,6 +15,9 @@ import (
 	"affinityalloc/internal/memsim"
 	"affinityalloc/internal/sys"
 )
+
+// bg is the default request context tests drive client calls with.
+var bg = context.Background()
 
 func newTestServer(t *testing.T) (*Server, *Client) {
 	t.Helper()
@@ -32,10 +36,10 @@ func newTestServer(t *testing.T) (*Server, *Client) {
 func TestServerEndToEnd(t *testing.T) {
 	srv, client := newTestServer(t)
 
-	if !client.Healthy() {
+	if !client.Healthy(bg) {
 		t.Fatal("server not healthy")
 	}
-	reg, err := client.Register(MachineSpec{Seed: 7})
+	reg, err := client.Register(bg, MachineSpec{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +47,7 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("bad register response: %+v", reg)
 	}
 
-	pool, err := client.OpenPool(reg.MachineID, 64)
+	pool, err := client.OpenPool(bg, reg.MachineID, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +59,7 @@ func TestServerEndToEnd(t *testing.T) {
 	// near an element of a — edges reference IDs placed earlier in the
 	// same batch.
 	probes := []int64{0, 100, 4095}
-	resp, err := client.Alloc(reg.MachineID, []AllocRequest{
+	resp, err := client.Alloc(bg, reg.MachineID, "", []AllocRequest{
 		{ID: "a", ElemSize: 4, NumElem: 1 << 12, BankProbe: probes},
 		{ID: "b", ElemSize: 4, NumElem: 1 << 12, AlignTo: "a", BankProbe: probes},
 		{ID: "c", ElemSize: 8, NumElem: 1 << 12, AlignTo: "a", BankProbe: probes},
@@ -89,7 +93,7 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Errorf("baseline placement reports interleave %d, want 0", byID["h"].Interleave)
 	}
 
-	info, err := client.MachineInfo(reg.MachineID)
+	info, err := client.MachineInfo(bg, reg.MachineID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +101,7 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Errorf("info = %+v, want 5 live handles / 5 allocs", info)
 	}
 
-	free, err := client.Free(reg.MachineID, []string{"n", "h", "c", "b", "a", "ghost"})
+	free, err := client.Free(bg, reg.MachineID, "", []string{"n", "h", "c", "b", "a", "ghost"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +111,7 @@ func TestServerEndToEnd(t *testing.T) {
 		}
 	}
 
-	doc, err := client.Metrics()
+	doc, err := client.Metrics(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,10 +122,10 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Error("request counter never moved")
 	}
 
-	if err := client.Deregister(reg.MachineID); err != nil {
+	if err := client.Deregister(bg, reg.MachineID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.MachineInfo(reg.MachineID); err == nil {
+	if _, err := client.MachineInfo(bg, reg.MachineID); err == nil {
 		t.Error("deregistered machine still answers")
 	}
 }
@@ -131,29 +135,29 @@ func TestServerEndToEnd(t *testing.T) {
 // accidental), bad kinds, dead edges, empty batches.
 func TestServerRejectsBadRequests(t *testing.T) {
 	_, client := newTestServer(t)
-	reg, err := client.Register(MachineSpec{Seed: 7})
+	reg, err := client.Register(bg, MachineSpec{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	if _, err := client.Alloc("m999999", []AllocRequest{{ID: "a", ElemSize: 4, NumElem: 8}}); err == nil {
+	if _, err := client.Alloc(bg, "m999999", "", []AllocRequest{{ID: "a", ElemSize: 4, NumElem: 8}}); err == nil {
 		t.Error("alloc on unknown machine succeeded")
 	}
-	if _, err := client.Alloc(reg.MachineID, nil); err == nil {
+	if _, err := client.Alloc(bg, reg.MachineID, "", nil); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if _, err := client.Register(MachineSpec{Policy: "nonsense"}); err == nil {
+	if _, err := client.Register(bg, MachineSpec{Policy: "nonsense"}); err == nil {
 		t.Error("bad policy accepted")
 	}
-	if _, err := client.Register(MachineSpec{Faults: "nonsense"}); err == nil {
+	if _, err := client.Register(bg, MachineSpec{Faults: "nonsense"}); err == nil {
 		t.Error("bad fault spec accepted")
 	}
-	if _, err := client.OpenPool(reg.MachineID, -64); err == nil {
+	if _, err := client.OpenPool(bg, reg.MachineID, -64); err == nil {
 		t.Error("negative interleave accepted")
 	}
 
 	// Per-request failures don't fail the batch.
-	resp, err := client.Alloc(reg.MachineID, []AllocRequest{
+	resp, err := client.Alloc(bg, reg.MachineID, "", []AllocRequest{
 		{ID: "ok", ElemSize: 4, NumElem: 8},
 		{ID: "", ElemSize: 4, NumElem: 8},
 		{ID: "ok", ElemSize: 4, NumElem: 8}, // duplicate live ID
@@ -304,7 +308,7 @@ func TestDifferentialServiceVsLibrary(t *testing.T) {
 	spec := MachineSpec{Seed: seed}
 
 	_, client := newTestServer(t)
-	reg, err := client.Register(spec)
+	reg, err := client.Register(bg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,13 +317,13 @@ func TestDifferentialServiceVsLibrary(t *testing.T) {
 	steps := make([]Step, rounds)
 	for r := range steps {
 		steps[r] = gen.NextStep(perRound)
-		resp, err := client.Alloc(reg.MachineID, steps[r].Allocs)
+		resp, err := client.Alloc(bg, reg.MachineID, "", steps[r].Allocs)
 		if err != nil {
 			t.Fatal(err)
 		}
 		viaWire = append(viaWire, resp.Placements...)
 		if len(steps[r].Frees) > 0 {
-			if _, err := client.Free(reg.MachineID, steps[r].Frees); err != nil {
+			if _, err := client.Free(bg, reg.MachineID, "", steps[r].Frees); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -368,7 +372,7 @@ func TestConcurrentClientsDeterminism(t *testing.T) {
 	const seed, streams, rounds, perRound = 11, 4, 8, 8
 
 	runStream := func(client *Client, stream int) ([]byte, error) {
-		reg, err := client.Register(MachineSpec{Seed: seed + int64(stream)})
+		reg, err := client.Register(bg, MachineSpec{Seed: seed + int64(stream)})
 		if err != nil {
 			return nil, err
 		}
@@ -376,13 +380,13 @@ func TestConcurrentClientsDeterminism(t *testing.T) {
 		var got []Placement
 		for r := 0; r < rounds; r++ {
 			st := gen.NextStep(perRound)
-			resp, err := client.Alloc(reg.MachineID, st.Allocs)
+			resp, err := client.Alloc(bg, reg.MachineID, "", st.Allocs)
 			if err != nil {
 				return nil, err
 			}
 			got = append(got, resp.Placements...)
 			if len(st.Frees) > 0 {
-				if _, err := client.Free(reg.MachineID, st.Frees); err != nil {
+				if _, err := client.Free(bg, reg.MachineID, "", st.Frees); err != nil {
 					return nil, err
 				}
 			}
@@ -428,18 +432,18 @@ func TestServerCloseDrains(t *testing.T) {
 	defer ts.Close()
 	client := NewClient(ts.URL)
 
-	reg, err := client.Register(MachineSpec{Seed: 3})
+	reg, err := client.Register(bg, MachineSpec{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Alloc(reg.MachineID, []AllocRequest{{ID: "a", ElemSize: 4, NumElem: 64}}); err != nil {
+	if _, err := client.Alloc(bg, reg.MachineID, "", []AllocRequest{{ID: "a", ElemSize: 4, NumElem: 64}}); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
-	if _, err := client.Alloc(reg.MachineID, []AllocRequest{{ID: "b", ElemSize: 4, NumElem: 64}}); err == nil {
+	if _, err := client.Alloc(bg, reg.MachineID, "", []AllocRequest{{ID: "b", ElemSize: 4, NumElem: 64}}); err == nil {
 		t.Error("alloc after Close succeeded")
 	}
-	if _, err := client.Register(MachineSpec{Seed: 3}); err == nil {
+	if _, err := client.Register(bg, MachineSpec{Seed: 3}); err == nil {
 		t.Error("register after Close succeeded")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"affinityalloc/internal/backoff"
 	"affinityalloc/internal/workloads"
 )
 
@@ -70,26 +71,11 @@ func (e *CellFailures) Failed() []string {
 	return out
 }
 
-// maxRetryBackoff caps the doubling retry backoff. Beyond this a retry
-// loop is effectively wedged anyway, and the cap is what keeps
-// RetryBackoff << attempt from overflowing time.Duration into a negative
-// (instantly returning) or absurdly long sleep at large CellRetries.
-const maxRetryBackoff = 30 * time.Second
-
-// retryDelay returns the backoff before retry attempt (0-based): the
-// base doubling per attempt, saturating at maxRetryBackoff. The
-// saturation test divides instead of multiplying — base<<attempt may
-// overflow, maxRetryBackoff>>attempt cannot (Go shifts past the width
-// yield 0, so huge attempts saturate too).
-func retryDelay(base time.Duration, attempt int) time.Duration {
-	if base <= 0 {
-		return 0
-	}
-	if base > maxRetryBackoff>>uint(attempt) {
-		return maxRetryBackoff
-	}
-	return base << uint(attempt)
-}
+// maxRetryBackoff caps the doubling retry backoff; the saturation (and
+// the overflow-proofing it provides at large CellRetries) lives in the
+// shared internal/backoff package, which the affinityd client retry
+// loop uses too.
+const maxRetryBackoff = backoff.DefaultCap
 
 // runCell executes one cell under the option's resilience policy: panics
 // inside the simulation become this cell's error (sibling cells keep
@@ -104,7 +90,7 @@ func (o Options) runCell(c cell) (workloads.Result, error) {
 		if err == nil || attempt >= o.CellRetries || !errors.Is(err, ErrTransient) {
 			return r, err
 		}
-		if d := retryDelay(o.RetryBackoff, attempt); d > 0 {
+		if d := backoff.Delay(o.RetryBackoff, maxRetryBackoff, attempt); d > 0 {
 			time.Sleep(d)
 		}
 	}

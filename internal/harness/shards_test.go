@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"affinityalloc/internal/backoff"
 	"affinityalloc/internal/faults"
 	"affinityalloc/internal/sys"
 	"affinityalloc/internal/telemetry"
@@ -67,6 +68,9 @@ func TestShardedHarnessByteIdentical(t *testing.T) {
 // RetryBackoff << attempt used to overflow time.Duration at large
 // CellRetries (1s of base backoff goes negative at attempt 34); the
 // delay must instead saturate at maxRetryBackoff for every attempt.
+// The schedule itself lives in internal/backoff (shared with the
+// affinityd client); this pins the harness's use of it — same cap, same
+// doubling — so the retry loop's contract cannot drift silently.
 func TestRetryBackoffClamped(t *testing.T) {
 	cases := []struct {
 		base    time.Duration
@@ -83,11 +87,11 @@ func TestRetryBackoffClamped(t *testing.T) {
 		{time.Minute, 0, maxRetryBackoff},   // base already above the cap
 	}
 	for _, tc := range cases {
-		if got := retryDelay(tc.base, tc.attempt); got != tc.want {
-			t.Errorf("retryDelay(%v, %d) = %v, want %v", tc.base, tc.attempt, got, tc.want)
+		if got := backoff.Delay(tc.base, maxRetryBackoff, tc.attempt); got != tc.want {
+			t.Errorf("backoff.Delay(%v, %v, %d) = %v, want %v", tc.base, maxRetryBackoff, tc.attempt, got, tc.want)
 		}
-		if got := retryDelay(tc.base, tc.attempt); got < 0 || got > maxRetryBackoff {
-			t.Errorf("retryDelay(%v, %d) = %v out of [0, %v]", tc.base, tc.attempt, got, maxRetryBackoff)
+		if got := backoff.Delay(tc.base, maxRetryBackoff, tc.attempt); got < 0 || got > maxRetryBackoff {
+			t.Errorf("backoff.Delay(%v, %v, %d) = %v out of [0, %v]", tc.base, maxRetryBackoff, tc.attempt, got, maxRetryBackoff)
 		}
 	}
 }
