@@ -10,6 +10,8 @@
 //	affload -chaos -daemon ./affinityd -journal DIR [-kills 3]
 //	        [-stalls 2] [-streams 4] [-ops 512] [-batch 16] [-seed N]
 //
+//	affload -trace run.jsonl [-batch 16] [-keep] [-timeout 30s]
+//
 // Each stream registers its own machine (tenant isolation) and drives a
 // seeded, deterministic request sequence — the same -seed always sends
 // the same placements, so runs are reproducible and comparable. Every
@@ -19,6 +21,13 @@
 // The summary's p50/p99 placement latency is sourced from the server's
 // internal/telemetry histogram via /metricsz, not measured client-side;
 // the per-stream columns are client-observed wire latencies.
+//
+// In -trace mode affload replays a recorded afftrace/v1 trace (affsim
+// -record) against the daemon: each single-tenant scenario registers a
+// machine shaped like the recording's, its allocator events are lowered
+// to wire batches, and every wire placement is verified against a local
+// trace.Replay of the same scenario — the wire≡library differential
+// extended to recorded streams. Any divergence makes the run fail.
 //
 // In -chaos mode affload owns the daemon: it spawns the -daemon binary
 // with a write-ahead journal, drives the streams while repeatedly
@@ -34,6 +43,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +54,7 @@ import (
 	"affinityalloc/internal/cliconf"
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/telemetry"
+	"affinityalloc/internal/trace"
 )
 
 func main() {
@@ -56,6 +67,8 @@ func main() {
 		keep    = flag.Bool("keep", false, "leave the tenant machines registered after the run")
 		timeout = flag.Duration("timeout", affinityd.DefaultRequestTimeout, "per-request deadline")
 
+		traceIn = flag.String("trace", "", "replay a recorded afftrace/v1 trace against the daemon, verifying wire placements against a local replay")
+
 		chaos   = flag.Bool("chaos", false, "chaos mode: spawn -daemon, kill/stall it mid-stream, prove convergence")
 		daemon  = flag.String("daemon", "", "path to the affinityd binary (chaos mode)")
 		journal = flag.String("journal", "", "journal directory for the spawned daemon (chaos mode; default a temp dir)")
@@ -65,13 +78,16 @@ func main() {
 	flag.Parse()
 
 	var err error
-	if *chaos {
+	switch {
+	case *chaos:
 		err = runChaos(chaosConfig{
 			seed: cc.Seed, daemon: *daemon, journal: *journal,
 			streams: *streams, ops: *ops, batch: *batch,
 			kills: *kills, stalls: *stalls, timeout: *timeout,
 		})
-	} else {
+	case *traceIn != "":
+		err = runTrace(*addr, *traceIn, *batch, *keep, *timeout)
+	default:
 		err = run(cc.Seed, *addr, *streams, *ops, *batch, *keep, *timeout)
 	}
 	if err != nil {
@@ -249,6 +265,158 @@ func driveSteps(ctx context.Context, client *affinityd.Client, st *streamStats, 
 		}
 	}
 	st.wall = time.Since(start)
+}
+
+// runTrace replays a recorded trace against a live daemon and verifies
+// the wire≡library differential on every placement: each single-tenant
+// scenario is lowered to wire batches (affinityd.StepsFromScenario),
+// driven at a machine registered with the recording's spec, and the
+// returned placements are diffed against a local trace.Replay of the
+// same scenario. Multi-tenant scenarios (trace compositions) are
+// skipped — the wire serves one tenant per machine.
+func runTrace(addr, path string, batchSize int, keep bool, timeout time.Duration) error {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(tr.Scenarios) == 0 {
+		return fmt.Errorf("%s: trace has no scenarios", path)
+	}
+	ctx := context.Background()
+	client := affinityd.NewClient(addr)
+	client.Timeout = timeout
+	if !client.Healthy(ctx) {
+		return fmt.Errorf("no affinityd answering at %s (is it running?)", addr)
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("affload: trace replay of %s (%d scenarios) against %s", path, len(tr.Scenarios), addr),
+		"scenario", "machine", "batches", "allocs", "frees", "errors", "placements")
+	driven, diverged, skipped := 0, 0, 0
+	var firstErr error
+	fail := func(label string, err error) {
+		tbl.AddRow(label, "FAILED", "-", "-", "-", "-", err.Error())
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, sc := range tr.Scenarios {
+		if sc.NumTenants() > 1 {
+			skipped++
+			tbl.AddRow(sc.Label, "-", "-", "-", "-", "-", fmt.Sprintf("SKIPPED (%d tenants)", sc.NumTenants()))
+			continue
+		}
+		steps, err := affinityd.StepsFromScenario(sc, batchSize)
+		if err != nil {
+			if errors.Is(err, affinityd.ErrNotWireExpressible) {
+				// Forced-bank scenarios (delta sweeps) have no wire form;
+				// they are skipped, not counted against the differential.
+				skipped++
+				tbl.AddRow(sc.Label, "-", "-", "-", "-", "-", "SKIPPED (not wire-expressible)")
+				continue
+			}
+			fail(sc.Label, err)
+			continue
+		}
+		reg, err := client.Register(ctx, affinityd.MachineSpec{
+			MeshW: sc.MeshW, MeshH: sc.MeshH, Seed: sc.Seed,
+			Policy: sc.Policy, Faults: sc.Faults,
+		})
+		if err != nil {
+			fail(sc.Label, err)
+			continue
+		}
+		wire, batches, allocs, frees, errors, err := driveTraceSteps(ctx, client, reg.MachineID, steps)
+		if !keep {
+			if derr := client.Deregister(ctx, reg.MachineID); derr != nil {
+				fmt.Fprintln(os.Stderr, "affload: deregister:", derr)
+			}
+		}
+		if err != nil {
+			fail(sc.Label, err)
+			continue
+		}
+		res, err := trace.Replay(sc, trace.Options{})
+		if err != nil {
+			fail(sc.Label, fmt.Errorf("local replay: %w", err))
+			continue
+		}
+		diffs, err := affinityd.DiffReplay(sc, res, wire)
+		if err != nil {
+			fail(sc.Label, err)
+			continue
+		}
+		driven++
+		status := "MATCH"
+		if len(diffs) > 0 {
+			diverged++
+			status = fmt.Sprintf("DIVERGE (%d)", len(diffs))
+			for _, d := range diffs {
+				fmt.Fprintf(os.Stderr, "affload: %s: %s\n", sc.Label, d)
+			}
+		}
+		tbl.AddRow(sc.Label, reg.MachineID, batches, allocs, frees, errors, status)
+	}
+	tbl.Render(os.Stdout)
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "affload: skipped %d scenario(s) with no wire form (multi-tenant or forced-bank)\n", skipped)
+	}
+	if diverged > 0 {
+		return fmt.Errorf("trace replay: %d of %d scenario(s) diverged from the local replay", diverged, driven)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if driven == 0 {
+		return fmt.Errorf("%s: no single-tenant scenario to replay", path)
+	}
+	return nil
+}
+
+// driveTraceSteps pushes one lowered scenario at a registered machine,
+// collecting every returned placement by wire ID.
+func driveTraceSteps(ctx context.Context, client *affinityd.Client, machineID string, steps []affinityd.TraceStep) (wire map[string]affinityd.Placement, batches, allocs, frees, errCount int, err error) {
+	wire = make(map[string]affinityd.Placement)
+	for _, stp := range steps {
+		for _, il := range stp.Pools {
+			if _, err = client.OpenPool(ctx, machineID, il); err != nil {
+				return
+			}
+		}
+		if len(stp.Allocs) > 0 {
+			var resp affinityd.BatchAllocResponse
+			if resp, err = client.Alloc(ctx, machineID, stp.AllocBatch, stp.Allocs); err != nil {
+				return
+			}
+			batches++
+			for _, p := range resp.Placements {
+				if prev, dup := wire[p.ID]; dup && !placementEqual(prev, p) {
+					err = fmt.Errorf("duplicate placement for %q diverges: %+v vs %+v", p.ID, prev, p)
+					return
+				}
+				wire[p.ID] = p
+				if p.Error != "" {
+					errCount++
+				} else {
+					allocs++
+				}
+			}
+		}
+		if len(stp.Frees) > 0 {
+			var fresp affinityd.FreeResponse
+			if fresp, err = client.Free(ctx, machineID, stp.FreeBatch, stp.Frees); err != nil {
+				return
+			}
+			for _, r := range fresp.Results {
+				if r.Error != "" {
+					errCount++
+				} else {
+					frees++
+				}
+			}
+		}
+	}
+	return
 }
 
 // serverLatencyLine derives the p50/p99 placement latency from the

@@ -9,6 +9,8 @@
 //	affsim -workload bfs [-scale ...] [-policy hybrid5|minhop|rnd|lnr] [-mode affalloc]
 //	affsim ... [-faults dead-banks=2,dead-links=2] (degraded-substrate runs)
 //	affsim ... [-metrics-out m.json] [-trace-out t.json] [-pprof cpu.prof]
+//	affsim ... [-record run.jsonl] (record an afftrace/v1 scenario trace)
+//	affsim -replay run.jsonl (re-drive a recorded trace; verifies placements)
 //	affsim -validate-metrics m.json
 //
 // Independent simulation cells (workload × configuration runs) execute
@@ -23,6 +25,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,12 +38,14 @@ import (
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/sys"
 	"affinityalloc/internal/telemetry"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
 func main() {
 	cc := cliconf.Register(flag.CommandLine,
-		cliconf.HarnessFlags|cliconf.ArtifactFlags|cliconf.FlagPolicy)
+		cliconf.HarnessFlags|cliconf.ArtifactFlags|cliconf.FlagPolicy|
+			cliconf.FlagRecord|cliconf.FlagReplay)
 	var (
 		list     = flag.Bool("list", false, "list experiments and workloads")
 		exp      = flag.String("exp", "", "experiment id to regenerate (fig4, fig6, fig12, ...)")
@@ -69,7 +74,29 @@ func run(cc *cliconf.Config, list bool, exp string, all bool, workload, modeStr,
 		return err
 	}
 
+	// -record hooks an afftrace collector into the workload cells the
+	// invocation runs; the trace is written once the run succeeds.
+	// Experiments that probe the memory system directly instead of
+	// running workload cells (fig14's migration timeline) record
+	// nothing — that yields an empty trace, noted on stderr.
+	var recCol *trace.Collector
+	if cc.RecordOut != "" {
+		recCol = trace.NewCollector()
+		opt.Record = recCol
+	}
+	writeRecording := func(err error) error {
+		if err != nil || recCol == nil {
+			return err
+		}
+		if len(recCol.Trace().Scenarios) == 0 {
+			fmt.Fprintf(os.Stderr, "affsim: note: no workload cells ran; %s records an empty trace\n", cc.RecordOut)
+		}
+		return trace.WriteFile(cc.RecordOut, recCol.Trace())
+	}
+
 	switch {
+	case cc.ReplayIn != "":
+		return runReplay(cc)
 	case validatePath != "":
 		return validateMetrics(validatePath)
 	case list:
@@ -88,11 +115,11 @@ func run(cc *cliconf.Config, list bool, exp string, all bool, workload, modeStr,
 			return err
 		}
 		defer closeArts()
-		return harness.RunAll(opt, os.Stdout, nil, os.Stderr, cc.Timing, arts)
+		return writeRecording(harness.RunAll(opt, os.Stdout, nil, os.Stderr, cc.Timing, arts))
 	case exp != "":
-		return runExperiment(cc, opt, exp)
+		return writeRecording(runExperiment(cc, opt, exp))
 	case workload != "":
-		return runWorkload(cc, opt, workload, modeStr)
+		return writeRecording(runWorkload(cc, opt, workload, modeStr, recCol))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -183,7 +210,49 @@ func parseModes(v string) ([]sys.Mode, error) {
 	return []sys.Mode{m}, nil
 }
 
-func runWorkload(cc *cliconf.Config, opt harness.Options, name, modeStr string) error {
+// runReplay re-drives a recorded trace through the allocator and memory
+// system and verifies the record→replay placement identity, printing one
+// row per scenario. Any DIVERGE row makes the invocation fail.
+func runReplay(cc *cliconf.Config) error {
+	tr, err := trace.ReadFile(cc.ReplayIn)
+	if err != nil {
+		return err
+	}
+	if len(tr.Scenarios) == 0 {
+		return fmt.Errorf("%s: trace has no scenarios (the recording run had no workload cells?)", cc.ReplayIn)
+	}
+	tbl := stats.NewTable(fmt.Sprintf("replay of %s (%d scenarios)", cc.ReplayIn, len(tr.Scenarios)),
+		"scenario", "mode", "tenants", "allocs", "cycles.rec", "cycles.replay", "digest", "placements")
+	diverged := 0
+	for _, sc := range tr.Scenarios {
+		allocs := int64(0)
+		for t := 0; t < sc.NumTenants(); t++ {
+			allocs += sc.AllocCount(t)
+		}
+		res, err := trace.Replay(sc, trace.Options{Shards: cc.Shards})
+		if err != nil {
+			diverged++
+			tbl.AddRow(sc.Label, sc.Mode, sc.NumTenants(), allocs, sc.Cycles, "FAILED", "-", err.Error())
+			continue
+		}
+		got, want := res.PlacementDump(), trace.RecordedDump(sc)
+		status := "MATCH"
+		if !bytes.Equal(got, want) {
+			status = "DIVERGE"
+			diverged++
+		}
+		tbl.AddRow(sc.Label, sc.Mode, sc.NumTenants(), allocs,
+			sc.Cycles, uint64(res.Cycles), trace.Digest(got), status)
+	}
+	tbl.Render(os.Stdout)
+	if diverged > 0 {
+		return fmt.Errorf("replay: %d of %d scenario(s) diverged from their recorded placements",
+			diverged, len(tr.Scenarios))
+	}
+	return nil
+}
+
+func runWorkload(cc *cliconf.Config, opt harness.Options, name, modeStr string, recCol *trace.Collector) error {
 	pcfg, err := cc.Policy()
 	if err != nil {
 		return err
@@ -223,9 +292,11 @@ func runWorkload(cc *cliconf.Config, opt harness.Options, name, modeStr string) 
 	var cells []harness.CollectedCell
 	var failed []harness.CellFailure
 	haveBase := false
+	slot := recCol.Reserve(len(modes))
 	for i, mode := range modes {
-		res, err := runGuarded(cfg, w, mode)
 		label := fmt.Sprintf("%s/%v", name, mode)
+		rec := recCol.NewRecorder(label)
+		res, err := runGuarded(cfg, w, mode, rec)
 		if err != nil {
 			// A failed configuration doesn't abort the others: render its
 			// row as FAILED and keep going (exit status stays non-zero).
@@ -236,6 +307,7 @@ func runWorkload(cc *cliconf.Config, opt harness.Options, name, modeStr string) 
 		if !haveBase {
 			base, haveBase = res, true
 		}
+		recCol.Put(slot+i, rec.Scenario())
 		cells = append(cells, harness.CollectedCell{Label: label, Snap: res.Metrics.Detail})
 		d, c, o := res.Metrics.DataHops()
 		tbl.AddRow(mode.String(), uint64(res.Metrics.Cycles),
@@ -255,15 +327,15 @@ func runWorkload(cc *cliconf.Config, opt harness.Options, name, modeStr string) 
 // runGuarded runs one (workload, mode) cell converting panics inside the
 // simulation — typed data-plane access failures included — into errors, so
 // one crashing configuration cannot take down the whole invocation.
-func runGuarded(cfg sys.Config, w workloads.Workload, mode sys.Mode) (res workloads.Result, err error) {
+func runGuarded(cfg sys.Config, w workloads.Workload, mode sys.Mode, rec *trace.Recorder) (res workloads.Result, err error) {
 	defer func() {
-		if rec := recover(); rec != nil {
-			if e, ok := rec.(error); ok {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
 				err = fmt.Errorf("panic: %w", e)
 			} else {
-				err = fmt.Errorf("panic: %v", rec)
+				err = fmt.Errorf("panic: %v", r)
 			}
 		}
 	}()
-	return workloads.Run(cfg, w, mode)
+	return workloads.RunTraced(cfg, w, mode, rec)
 }

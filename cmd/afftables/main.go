@@ -6,7 +6,7 @@
 //
 //	afftables [-scale tiny|default|paper] [-seed N] [-j N] [-shards K] [-timing]
 //	          [-o report.txt] [-only fig12,fig13]
-//	          [-faults dead-banks=2] [-faults-sweep]
+//	          [-faults dead-banks=2] [-faults-sweep] [-colocation]
 //	          [-metrics-out m.json] [-trace-out t.json] [-pprof cpu.prof]
 //
 // Experiments run concurrently across -j worker goroutines and their
@@ -37,6 +37,7 @@ func main() {
 		outPath = flag.String("o", "", "output file (default stdout)")
 		only    = flag.String("only", "", "comma-separated experiment ids (default all)")
 		sweep   = flag.Bool("faults-sweep", false, "render the degraded-substrate sweep (dead banks/links x allocation modes) instead of the report")
+		coloc   = flag.Bool("colocation", false, "render the trace-composed multi-tenant colocation interference table instead of the report")
 	)
 	flag.Parse()
 
@@ -77,6 +78,16 @@ func main() {
 		fatal(err)
 	}
 	defer closeArts()
+
+	if *coloc {
+		fig, err := harness.Colocation(opt)
+		if err != nil {
+			failSummary(err)
+			os.Exit(1)
+		}
+		fig.Render(out)
+		return
+	}
 
 	if *sweep {
 		// The sweep tolerates per-cell failures: the table renders with

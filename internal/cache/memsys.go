@@ -63,6 +63,12 @@ type MemSystem struct {
 	DRAMReads  uint64
 	DRAMWrites uint64
 
+	// obs, when set, observes every timed access and preload (the trace
+	// recorder's access-summary feed). Observation happens before timing
+	// and cache state are touched and reads nothing back, so a recording
+	// run stays byte-identical to a direct run.
+	obs AccessObserver
+
 	// clocks, when attached, turn bank-occupancy and DRAM-completion
 	// accounting into retirement events scheduled at the completion cycle
 	// (see AttachClock). The handlers are bound once so scheduling
@@ -249,8 +255,22 @@ func (m *MemSystem) Access(now engine.Time, va memsim.Addr, write bool) (done en
 	return m.AccessAt(now, bank, va, write)
 }
 
+// AccessObserver receives every timed L3 access and every preload —
+// the hook internal/trace records access summaries through. Observers
+// must not issue accesses themselves.
+type AccessObserver interface {
+	ObserveAccess(va memsim.Addr, write bool)
+	ObservePreload(va memsim.Addr, bytes int64)
+}
+
+// SetObserver installs (or, with nil, removes) the access observer.
+func (m *MemSystem) SetObserver(o AccessObserver) { m.obs = o }
+
 // AccessAt is Access for callers that already resolved the home bank.
 func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bool) (done engine.Time, hit bool) {
+	if m.obs != nil {
+		m.obs.ObserveAccess(va, write)
+	}
 	line := uint64(memsim.Line(va))
 	start := m.bankSrv[bank].Reserve(now, int(m.cfg.BankOccupancy))
 	if m.clocks != nil {
@@ -313,6 +333,9 @@ func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bo
 // in the LLC after initialization, which is the paper's measurement
 // regime (Fig 15 studies what happens when it no longer fits).
 func (m *MemSystem) Preload(va memsim.Addr, bytes int64) {
+	if m.obs != nil {
+		m.obs.ObservePreload(va, bytes)
+	}
 	end := va + memsim.Addr(bytes)
 	for line := memsim.LineAddr(va); line < end; line += memsim.LineSize {
 		bank := m.BankOf(line)

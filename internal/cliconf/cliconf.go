@@ -1,7 +1,7 @@
 // Package cliconf is the single definition of the flags shared by the
 // repository's binaries (affsim, afftables, affinityd, affload):
 // -scale, -seed, -j, -shards, -policy, -faults, -metrics-out,
-// -trace-out, -pprof and -timing. Each binary registers the subset it
+// -trace-out, -pprof, -timing, -record and -replay. Each binary registers the subset it
 // serves, so names, defaults and help text cannot drift between CLIs,
 // and resolves them into validated harness.Options / core.PolicyConfig
 // / faults.Spec values through one code path.
@@ -42,6 +42,10 @@ const (
 	FlagPprof
 	// FlagTiming registers -timing.
 	FlagTiming
+	// FlagRecord registers -record (afftrace/v1 scenario recording).
+	FlagRecord
+	// FlagReplay registers -replay (afftrace/v1 scenario replay).
+	FlagReplay
 
 	// HarnessFlags is the experiment-harness set.
 	HarnessFlags = FlagScale | FlagSeed | FlagJobs | FlagShards | FlagFaults | FlagTiming
@@ -62,6 +66,8 @@ type Config struct {
 	TraceOut   string
 	PprofOut   string
 	Timing     bool
+	RecordOut  string
+	ReplayIn   string
 }
 
 // Register installs the selected flags on fs (use flag.CommandLine in
@@ -97,6 +103,12 @@ func Register(fs *flag.FlagSet, which Flags) *Config {
 	}
 	if which&FlagTiming != 0 {
 		fs.BoolVar(&c.Timing, "timing", false, "report per-cell wall time and sim-cycles/s on stderr")
+	}
+	if which&FlagRecord != 0 {
+		fs.StringVar(&c.RecordOut, "record", "", "record an afftrace/v1 scenario trace of every simulation cell to this file (.jsonl for text, anything else binary)")
+	}
+	if which&FlagReplay != 0 {
+		fs.StringVar(&c.ReplayIn, "replay", "", "replay a recorded afftrace/v1 trace instead of simulating, verifying placements against the recording")
 	}
 	return c
 }

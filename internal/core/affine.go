@@ -26,6 +26,16 @@ import (
 // fails it falls back to the baseline allocator, exactly as §4.2
 // prescribes, returning an ArrayInfo with Interleave == 0.
 func (r *Runtime) AllocAffine(spec AffineSpec) (*ArrayInfo, error) {
+	top := r.obsEnter()
+	info, err := r.allocAffine(spec)
+	if top {
+		r.obs.ObserveAffine(spec.norm(), -1, info, err)
+	}
+	r.obsExit()
+	return info, err
+}
+
+func (r *Runtime) allocAffine(spec AffineSpec) (*ArrayInfo, error) {
 	spec = spec.norm()
 	if spec.ElemSize <= 0 || spec.NumElem <= 0 {
 		return nil, fmt.Errorf("core: invalid affine spec elem=%d n=%d", spec.ElemSize, spec.NumElem)
@@ -51,6 +61,16 @@ func (r *Runtime) AllocAffine(spec AffineSpec) (*ArrayInfo, error) {
 // parameters but forces the array's start bank — the hook the Fig-4
 // Δ-bank layout sweep uses to construct deliberate misalignment.
 func (r *Runtime) AllocAffineAtBank(spec AffineSpec, startBank int) (*ArrayInfo, error) {
+	top := r.obsEnter()
+	info, err := r.allocAffineAtBank(spec, startBank)
+	if top {
+		r.obs.ObserveAffine(spec.norm(), startBank, info, err)
+	}
+	r.obsExit()
+	return info, err
+}
+
+func (r *Runtime) allocAffineAtBank(spec AffineSpec, startBank int) (*ArrayInfo, error) {
 	spec = spec.norm()
 	if startBank < 0 || startBank >= r.mesh.Banks() {
 		return nil, fmt.Errorf("core: start bank %d out of range", startBank)

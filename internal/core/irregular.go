@@ -14,6 +14,16 @@ import (
 // pool when the list runs dry. The runtime keeps no per-object metadata —
 // an object's size is implied by the pool it lives in.
 func (r *Runtime) AllocNear(size int64, affinity []memsim.Addr) (memsim.Addr, error) {
+	top := r.obsEnter()
+	addr, err := r.allocNear(size, affinity)
+	if top {
+		r.obs.ObserveNear(size, affinity, -1, addr, r.chunks[addr], err)
+	}
+	r.obsExit()
+	return addr, err
+}
+
+func (r *Runtime) allocNear(size int64, affinity []memsim.Addr) (memsim.Addr, error) {
 	if size <= 0 {
 		return 0, fmt.Errorf("core: invalid irregular size %d", size)
 	}
@@ -46,6 +56,16 @@ func (r *Runtime) AllocNear(size int64, affinity []memsim.Addr) (memsim.Addr, er
 // Fig-6 idealized chunk-placement study uses; real applications go
 // through AllocNear.
 func (r *Runtime) AllocAtBank(size int64, bank int) (memsim.Addr, error) {
+	top := r.obsEnter()
+	addr, err := r.allocAtBank(size, bank)
+	if top {
+		r.obs.ObserveNear(size, nil, bank, addr, r.chunks[addr], err)
+	}
+	r.obsExit()
+	return addr, err
+}
+
+func (r *Runtime) allocAtBank(size int64, bank int) (memsim.Addr, error) {
 	if bank < 0 || bank >= r.mesh.Banks() {
 		return 0, fmt.Errorf("core: bank %d out of range", bank)
 	}
@@ -225,6 +245,16 @@ func (r *Runtime) refillChunks(chunk int) error {
 // metadata; irregular chunks carry no metadata and their size is inferred
 // from the pool they live in.
 func (r *Runtime) Free(addr memsim.Addr) error {
+	top := r.obsEnter()
+	err := r.free(addr)
+	if top {
+		r.obs.ObserveFree(addr, err)
+	}
+	r.obsExit()
+	return err
+}
+
+func (r *Runtime) free(addr memsim.Addr) error {
 	if info, ok := r.arrays[addr]; ok {
 		delete(r.arrays, addr)
 		r.Stats.Frees++

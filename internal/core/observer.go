@@ -1,0 +1,40 @@
+package core
+
+import "affinityalloc/internal/memsim"
+
+// Observer receives one callback per *outermost* public allocator call —
+// the attachment point of the trace recorder (internal/trace). Internal
+// reentry (an affine fallback served by AllocBase, a refill) is not
+// observed, so a replay that re-drives exactly the observed calls puts
+// the runtime — including its RNG draw sequence — through the identical
+// state trajectory. Calls are observed after they complete, with their
+// outcome, so observation can never perturb placement.
+type Observer interface {
+	// ObserveOpenPool reports an explicit pool open (Runtime.OpenPool).
+	ObserveOpenPool(interleave int)
+	// ObserveAffine reports an AllocAffine/AllocAffineAtBank call.
+	// forcedBank is the AtBank argument, or -1 for policy placement.
+	// info is nil when err != nil.
+	ObserveAffine(spec AffineSpec, forcedBank int, info *ArrayInfo, err error)
+	// ObserveNear reports an AllocNear/AllocAtBank call. forcedBank is
+	// the AtBank argument, or -1 for policy placement. chunk is the
+	// placement-unit size actually used (0 on error).
+	ObserveNear(size int64, affinity []memsim.Addr, forcedBank int, addr memsim.Addr, chunk int, err error)
+	// ObserveBase reports a baseline (affinity-oblivious) allocation.
+	ObserveBase(size int64, addr memsim.Addr, err error)
+	// ObserveFree reports a Free call.
+	ObserveFree(addr memsim.Addr, err error)
+}
+
+// SetObserver installs (or, with nil, removes) the allocation observer.
+// The runtime is single-goroutine by contract, and so is observation.
+func (r *Runtime) SetObserver(o Observer) { r.obs = o }
+
+// obsEnter/obsExit bracket public entry points; obsEnter reports whether
+// this is the outermost observed call (internal reentry stays silent).
+func (r *Runtime) obsEnter() bool {
+	r.obsDepth++
+	return r.obs != nil && r.obsDepth == 1
+}
+
+func (r *Runtime) obsExit() { r.obsDepth-- }

@@ -161,6 +161,11 @@ type Runtime struct {
 	heapCur, heapEnd memsim.Addr
 	baseFree         map[int64][]memsim.Addr
 
+	// obs, when set, observes outermost public allocator calls (see
+	// observer.go); obsDepth suppresses internal reentry.
+	obs      Observer
+	obsDepth int
+
 	Stats Stats
 }
 
@@ -234,6 +239,9 @@ func (r *Runtime) ChunkOf(addr memsim.Addr) (int, bool) {
 // placement service exposes so tenants can pre-open the interleavings
 // they will allocate from.
 func (r *Runtime) OpenPool(interleave int) (*memsim.Pool, error) {
+	if r.obs != nil && r.obsDepth == 0 {
+		r.obs.ObserveOpenPool(interleave)
+	}
 	return r.space.Pool(interleave)
 }
 
@@ -241,6 +249,16 @@ func (r *Runtime) OpenPool(interleave int) (*memsim.Pool, error) {
 // the Near-L3 and In-Core configurations use): a bump allocator over the
 // conventional heap with size-class free lists.
 func (r *Runtime) AllocBase(size int64) (memsim.Addr, error) {
+	top := r.obsEnter()
+	addr, err := r.allocBase(size)
+	if top {
+		r.obs.ObserveBase(size, addr, err)
+	}
+	r.obsExit()
+	return addr, err
+}
+
+func (r *Runtime) allocBase(size int64) (memsim.Addr, error) {
 	size = roundUp(size, memsim.LineSize)
 	if lst := r.baseFree[size]; len(lst) > 0 {
 		addr := lst[len(lst)-1]

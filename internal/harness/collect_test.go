@@ -10,6 +10,7 @@ import (
 	"affinityalloc/internal/core"
 	"affinityalloc/internal/sys"
 	"affinityalloc/internal/telemetry"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
@@ -75,7 +76,7 @@ func TestCollectorOrderIndependentOfScheduling(t *testing.T) {
 			i := i
 			cells[i] = cell{
 				label: fmt.Sprintf("vecadd/Δ%d", i),
-				run: func() (workloads.Result, error) {
+				run: func(rec *trace.Recorder) (workloads.Result, error) {
 					cfg := baseConfig(opt, core.DefaultPolicy())
 					return workloads.Run(cfg, workloads.VecAdd{N: 1 << 9, ForceDelta: i}, sys.AffAlloc)
 				},
@@ -107,11 +108,11 @@ func TestCollectorSkipsFailedCells(t *testing.T) {
 	col := &Collector{}
 	opt := Options{Jobs: 2, Collect: col}
 	cells := []cell{
-		{label: "ok", run: func() (workloads.Result, error) {
+		{label: "ok", run: func(rec *trace.Recorder) (workloads.Result, error) {
 			cfg := baseConfig(Options{Scale: Tiny, Seed: 1}, core.DefaultPolicy())
 			return workloads.Run(cfg, workloads.VecAdd{N: 1 << 9, ForceDelta: 0}, sys.AffAlloc)
 		}},
-		{label: "bad", run: func() (workloads.Result, error) {
+		{label: "bad", run: func(rec *trace.Recorder) (workloads.Result, error) {
 			return workloads.Result{}, errors.New("boom")
 		}},
 	}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const goldenColocationPath = "testdata/golden_colocation.txt"
+
+// TestGoldenColocation byte-compares the trace-composed colocation
+// interference table against its committed golden file. The table is
+// end-to-end over the trace subsystem — record, compose, replay under
+// three policies — so any drift in recording, composition ordering, or
+// replay semantics lands here. To bless an intentional change:
+//
+//	go test ./internal/harness -run TestGoldenColocation -update
+func TestGoldenColocation(t *testing.T) {
+	fig, err := Colocation(Options{Scale: Tiny, Seed: 1, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Render(&buf)
+	got := buf.Bytes()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenColocationPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenColocationPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenColocationPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenColocationPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("colocation table diverged from %s (len got %d, want %d); "+
+			"if the change is intentional, re-bless with -update.\nfirst divergence near: %s",
+			goldenColocationPath, len(got), len(want), firstDiff(got, want))
+	}
+}
+
+// The colocation table must be byte-identical across worker counts —
+// the composition seeds and replay order are fixed, only scheduling
+// varies.
+func TestColocationParallelIdentity(t *testing.T) {
+	render := func(jobs int) []byte {
+		fig, err := Colocation(Options{Scale: Tiny, Seed: 1, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		fig.Render(&buf)
+		return buf.Bytes()
+	}
+	j1, j8 := render(1), render(8)
+	if !bytes.Equal(j1, j8) {
+		t.Errorf("colocation table differs between -j1 and -j8:\nfirst divergence near: %s", firstDiff(j1, j8))
+	}
+}

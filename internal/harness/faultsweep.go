@@ -8,6 +8,7 @@ import (
 	"affinityalloc/internal/faults"
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/sys"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
@@ -59,8 +60,8 @@ func FaultsSweep(opt Options) (*Figure, error) {
 			o.Faults = lv.spec
 			cells = append(cells, cell{
 				label: fmt.Sprintf("bfs/%s/%v", lv.name, mode),
-				run: func() (workloads.Result, error) {
-					return workloads.Run(baseConfig(o, core.DefaultPolicy()), w, mode)
+				run: func(rec *trace.Recorder) (workloads.Result, error) {
+					return workloads.RunTraced(baseConfig(o, core.DefaultPolicy()), w, mode, rec)
 				},
 			})
 		}

@@ -6,6 +6,7 @@ import (
 	"affinityalloc/internal/core"
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/sys"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
@@ -47,7 +48,7 @@ func Fig4(opt Options) (*Figure, error) {
 		v := v
 		cells[i] = cell{
 			label: "vecadd/" + v.name,
-			run:   func() (workloads.Result, error) { return workloads.Run(cfg, v.w, v.mode) },
+			run:   func(rec *trace.Recorder) (workloads.Result, error) { return workloads.RunTraced(cfg, v.w, v.mode, rec) },
 		}
 	}
 	rs, err := runCells(opt, cells)
@@ -160,8 +161,8 @@ func Fig13(opt Options) (*Figure, error) {
 			w, p := w, p
 			cells = append(cells, cell{
 				label: fmt.Sprintf("%s/%s", w.Name(), name(p)),
-				run: func() (workloads.Result, error) {
-					return workloads.Run(baseConfig(opt, p), w, sys.AffAlloc)
+				run: func(rec *trace.Recorder) (workloads.Result, error) {
+					return workloads.RunTraced(baseConfig(opt, p), w, sys.AffAlloc, rec)
 				},
 			})
 		}

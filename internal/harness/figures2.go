@@ -9,6 +9,7 @@ import (
 	"affinityalloc/internal/graph"
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/sys"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
@@ -62,7 +63,9 @@ func Fig6(opt Options) (*Figure, error) {
 			w := byVariant[vi][wi]
 			cells = append(cells, cell{
 				label: fmt.Sprintf("fig6 %s/%s", names[wi], v.name),
-				run:   func() (workloads.Result, error) { return workloads.Run(cfg, w, sys.NearL3) },
+				run: func(rec *trace.Recorder) (workloads.Result, error) {
+					return workloads.RunTraced(cfg, w, sys.NearL3, rec)
+				},
 			})
 		}
 	}
@@ -184,7 +187,7 @@ func Fig15(opt Options) (*Figure, error) {
 			pt, mode := pt, mode
 			cells = append(cells, cell{
 				label: fmt.Sprintf("fig15 %s %dx/%v", pt.w.Name(), pt.mult, mode),
-				run:   func() (workloads.Result, error) { return workloads.Run(cfg, pt.w, mode) },
+				run:   func(rec *trace.Recorder) (workloads.Result, error) { return workloads.RunTraced(cfg, pt.w, mode, rec) },
 			})
 		}
 	}
@@ -252,8 +255,8 @@ func Fig16(opt Options) (*Figure, error) {
 				w, r := w, r
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig16 2^%d %s/%s", baseScale+ds, w.Name(), r.name),
-					run: func() (workloads.Result, error) {
-						return workloads.Run(baseConfig(opt, r.pcfg), w, r.mode)
+					run: func(rec *trace.Recorder) (workloads.Result, error) {
+						return workloads.RunTraced(baseConfig(opt, r.pcfg), w, r.mode, rec)
 					},
 				})
 			}
@@ -415,8 +418,8 @@ func Fig19(opt Options) (*Figure, error) {
 				w, r := w, r
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig19 D%d %s/%s", d, w.Name(), r.name),
-					run: func() (workloads.Result, error) {
-						return workloads.Run(baseConfig(opt, r.pcfg), w, r.mode)
+					run: func(rec *trace.Recorder) (workloads.Result, error) {
+						return workloads.RunTraced(baseConfig(opt, r.pcfg), w, r.mode, rec)
 					},
 				})
 			}
@@ -519,8 +522,8 @@ func Fig20(opt Options) (*Figure, error) {
 				w, r := w, r
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig20 %s %s/%s", ge.Name, w.Name(), r.name),
-					run: func() (workloads.Result, error) {
-						return workloads.Run(baseConfig(opt, r.pcfg), w, r.mode)
+					run: func(rec *trace.Recorder) (workloads.Result, error) {
+						return workloads.RunTraced(baseConfig(opt, r.pcfg), w, r.mode, rec)
 					},
 				})
 			}

@@ -16,6 +16,7 @@ import (
 	"affinityalloc/internal/graph"
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/sys"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
@@ -72,6 +73,12 @@ type Options struct {
 	// Collect, when non-nil, records each cell's telemetry snapshot in
 	// deterministic harness order (see Collector).
 	Collect *Collector
+	// Record, when non-nil, captures each cell's allocation events and
+	// access summaries as an afftrace/v1 scenario (see trace.Collector).
+	// Like Collect, slots are reserved before cells launch, so the
+	// resulting trace is byte-identical for every Jobs value. Recording
+	// is pure observation: it never changes cell results.
+	Record *trace.Collector
 
 	// Shards partitions each cell's event kernel across that many mesh
 	// rectangles (see sys.Config.Shards). Reports and artifacts are
@@ -199,8 +206,8 @@ func runModesAll(opt Options, ws []workloads.Workload) ([]map[sys.Mode]workloads
 			w, mode := w, mode
 			cells = append(cells, cell{
 				label: fmt.Sprintf("%s/%v", w.Name(), mode),
-				run: func() (workloads.Result, error) {
-					return workloads.Run(baseConfig(opt, core.DefaultPolicy()), w, mode)
+				run: func(rec *trace.Recorder) (workloads.Result, error) {
+					return workloads.RunTraced(baseConfig(opt, core.DefaultPolicy()), w, mode, rec)
 				},
 			})
 		}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"affinityalloc/internal/engine"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
@@ -18,9 +19,16 @@ import (
 // state — workload construction (graph generation, weight assignment)
 // happens before the cells are launched — so any execution order yields
 // the same Results and runCells can schedule them freely.
+//
+// The run body receives the cell's trace recorder — nil unless
+// Options.Record is set — and is expected to attach it to the system it
+// builds (workloads.RunTraced does). Each retry attempt gets a fresh
+// recorder so a recorded scenario never mixes attempts, and a timed-out
+// attempt's abandoned goroutine keeps writing only to its own orphaned
+// recorder.
 type cell struct {
 	label string
-	run   func() (workloads.Result, error)
+	run   func(rec *trace.Recorder) (workloads.Result, error)
 }
 
 // jobs resolves the worker count: Options.Jobs when positive, else the
@@ -110,9 +118,10 @@ func runCells(opt Options, cells []cell) ([]workloads.Result, error) {
 	out := make([]workloads.Result, len(cells))
 	cellErrs := make([]error, len(cells))
 	slot := opt.Collect.reserve(len(cells))
+	tslot := opt.Record.Reserve(len(cells))
 	_ = opt.forEach(len(cells), func(i int) error {
 		start := time.Now()
-		r, err := opt.runCell(cells[i])
+		r, sc, err := opt.runCell(cells[i])
 		if err != nil {
 			cellErrs[i] = err
 			return err
@@ -120,6 +129,7 @@ func runCells(opt Options, cells []cell) ([]workloads.Result, error) {
 		out[i] = r
 		opt.Timing.observe(cells[i].label, time.Since(start), r.Metrics.Cycles)
 		opt.Collect.put(slot+i, cells[i].label, r.Metrics.Detail)
+		opt.Record.Put(tslot+i, sc)
 		return nil
 	})
 	var fails []CellFailure

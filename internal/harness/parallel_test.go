@@ -11,6 +11,7 @@ import (
 
 	"affinityalloc/internal/core"
 	"affinityalloc/internal/sys"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
@@ -65,7 +66,7 @@ func TestRunCellsDeterministicOrder(t *testing.T) {
 			i := i
 			cells[i] = cell{
 				label: fmt.Sprintf("vecadd/Δ%d", i),
-				run: func() (workloads.Result, error) {
+				run: func(rec *trace.Recorder) (workloads.Result, error) {
 					cfg := baseConfig(opt, core.DefaultPolicy())
 					return workloads.Run(cfg, workloads.VecAdd{N: 1 << 10, ForceDelta: i}, sys.AffAlloc)
 				},
@@ -127,7 +128,7 @@ func TestRunCellsReportsLowestIndexError(t *testing.T) {
 	cells := make([]cell, 8)
 	for i := range cells {
 		i := i
-		cells[i] = cell{label: fmt.Sprintf("c%d", i), run: func() (workloads.Result, error) {
+		cells[i] = cell{label: fmt.Sprintf("c%d", i), run: func(rec *trace.Recorder) (workloads.Result, error) {
 			atomic.AddInt64(&ran, 1)
 			if i == 2 || i == 6 {
 				return workloads.Result{}, errors.New("boom")
@@ -152,7 +153,7 @@ func TestTimingRecordsCells(t *testing.T) {
 	cells := make([]cell, 6)
 	for i := range cells {
 		i := i
-		cells[i] = cell{label: fmt.Sprintf("cell%d", i), run: func() (workloads.Result, error) {
+		cells[i] = cell{label: fmt.Sprintf("cell%d", i), run: func(rec *trace.Recorder) (workloads.Result, error) {
 			cfg := baseConfig(opt, core.DefaultPolicy())
 			return workloads.Run(cfg, workloads.VecAdd{N: 1 << 9, ForceDelta: i}, sys.AffAlloc)
 		}}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"affinityalloc/internal/core"
+	"affinityalloc/internal/faults"
+	"affinityalloc/internal/trace"
+	"affinityalloc/internal/workloads"
+)
+
+// fig4TraceAndReport runs the Fig-4 experiment with recording on and
+// returns (JSONL trace bytes, rendered figure bytes).
+func fig4TraceAndReport(t *testing.T, jobs, shards int, fspec string) ([]byte, []byte) {
+	t.Helper()
+	opt := Options{Scale: Tiny, Seed: 1, Jobs: jobs, Shards: shards}
+	if fspec != "" {
+		f, err := faults.Parse(fspec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Faults = f
+	}
+	col := trace.NewCollector()
+	opt.Record = col
+	fig, err := Fig4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Render(&buf)
+	return trace.EncodeJSONL(col.Trace()), buf.Bytes()
+}
+
+// The record→replay differential gate, as a table across the axes the
+// ISSUE pins: worker count (j1/j8), kernel shards (1/4), and machine
+// health (clean/faulted). For every combination the recorded trace and
+// the rendered figure must be byte-identical to the j=1 run (recording
+// is slot-ordered and observation-only), and replaying every recorded
+// scenario with zero options must reproduce the recorded placements
+// byte-for-byte.
+func TestRecordReplayGate(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, fspec := range []string{"", "dead-banks=2"} {
+			name := fmt.Sprintf("shards=%d/faults=%s", shards, fspec)
+			t.Run(name, func(t *testing.T) {
+				tr1, rep1 := fig4TraceAndReport(t, 1, shards, fspec)
+				tr8, rep8 := fig4TraceAndReport(t, 8, shards, fspec)
+				if !bytes.Equal(tr1, tr8) {
+					t.Error("recorded trace differs between -j1 and -j8")
+				}
+				if !bytes.Equal(rep1, rep8) {
+					t.Error("figure differs between -j1 and -j8")
+				}
+				if len(tr1) == 0 {
+					t.Fatal("empty recorded trace")
+				}
+				decoded, err := trace.ParseJSONL(tr1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(decoded.Scenarios) == 0 {
+					t.Fatal("no scenarios recorded")
+				}
+				for _, sc := range decoded.Scenarios {
+					res, err := trace.Replay(sc, trace.Options{})
+					if err != nil {
+						t.Fatalf("replay %s: %v", sc.Label, err)
+					}
+					got, want := res.PlacementDump(), trace.RecordedDump(sc)
+					if !bytes.Equal(got, want) {
+						t.Errorf("%s: replay diverged from recording:\n--- replay\n%s--- recorded\n%s",
+							sc.Label, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Recording must not perturb results: the same experiment with and
+// without a Record collector renders byte-identical figures.
+func TestRecordingDoesNotPerturbFigures(t *testing.T) {
+	opt := Options{Scale: Tiny, Seed: 1, Jobs: 4}
+	fig, err := Fig4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	fig.Render(&plain)
+	_, recorded := fig4TraceAndReport(t, 4, 1, "")
+	if !bytes.Equal(plain.Bytes(), recorded) {
+		t.Error("recording changed the rendered figure")
+	}
+}
+
+// A retried cell's scenario must reflect only the successful attempt,
+// and failed cells leave no scenario behind.
+func TestRecordSkipsFailedAttempts(t *testing.T) {
+	col := trace.NewCollector()
+	opt := Options{Jobs: 2, CellRetries: 2, Record: col}
+	attempts := 0
+	cells := []cell{
+		{label: "flaky", run: func(rec *trace.Recorder) (workloads.Result, error) {
+			attempts++
+			rec.Begin(baseConfig(opt, core.DefaultPolicy()), 0)
+			if attempts < 2 {
+				return workloads.Result{}, fmt.Errorf("wobble: %w", ErrTransient)
+			}
+			return workloads.Result{Checksum: 1}, nil
+		}},
+		{label: "dead", run: func(rec *trace.Recorder) (workloads.Result, error) {
+			return workloads.Result{}, fmt.Errorf("hard failure")
+		}},
+	}
+	_, err := runCells(opt, cells)
+	if err == nil {
+		t.Fatal("expected the dead cell's failure")
+	}
+	tr := col.Trace()
+	if len(tr.Scenarios) != 1 {
+		t.Fatalf("collected %d scenarios, want 1 (flaky's successful attempt only)", len(tr.Scenarios))
+	}
+	if tr.Scenarios[0].Label != "flaky" {
+		t.Errorf("collected %q, want flaky", tr.Scenarios[0].Label)
+	}
+}

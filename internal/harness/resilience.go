@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"affinityalloc/internal/backoff"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
@@ -81,14 +82,21 @@ const maxRetryBackoff = backoff.DefaultCap
 // inside the simulation become this cell's error (sibling cells keep
 // running), CellTimeout bounds the wall-clock run, and failures marked
 // ErrTransient retry up to CellRetries times with doubling backoff
-// (capped at maxRetryBackoff).
-func (o Options) runCell(c cell) (workloads.Result, error) {
+// (capped at maxRetryBackoff). When Options.Record is set, the returned
+// scenario is the successful attempt's recording (nil on failure or
+// when recording is off); each attempt records into a fresh recorder so
+// an abandoned timed-out goroutine can never corrupt a kept scenario.
+func (o Options) runCell(c cell) (workloads.Result, *trace.Scenario, error) {
 	var r workloads.Result
 	var err error
 	for attempt := 0; ; attempt++ {
-		r, err = o.runCellOnce(c)
-		if err == nil || attempt >= o.CellRetries || !errors.Is(err, ErrTransient) {
-			return r, err
+		rec := o.Record.NewRecorder(c.label)
+		r, err = o.runCellOnce(c, rec)
+		if err == nil {
+			return r, rec.Scenario(), nil
+		}
+		if attempt >= o.CellRetries || !errors.Is(err, ErrTransient) {
+			return r, nil, err
 		}
 		if d := backoff.Delay(o.RetryBackoff, maxRetryBackoff, attempt); d > 0 {
 			time.Sleep(d)
@@ -101,9 +109,9 @@ func (o Options) runCell(c cell) (workloads.Result, error) {
 // timed-out cell's goroutine is abandoned (simulations have no
 // cancellation points); its result is discarded when it eventually
 // finishes.
-func (o Options) runCellOnce(c cell) (workloads.Result, error) {
+func (o Options) runCellOnce(c cell, rec *trace.Recorder) (workloads.Result, error) {
 	if o.CellTimeout <= 0 {
-		return c.runRecovered()
+		return c.runRecovered(rec)
 	}
 	type outcome struct {
 		r   workloads.Result
@@ -111,7 +119,7 @@ func (o Options) runCellOnce(c cell) (workloads.Result, error) {
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		r, err := c.runRecovered()
+		r, err := c.runRecovered(rec)
 		ch <- outcome{r, err}
 	}()
 	timer := time.NewTimer(o.CellTimeout)
@@ -128,7 +136,7 @@ func (o Options) runCellOnce(c cell) (workloads.Result, error) {
 // access failures (memsim.AccessError) and programmer-error invariants
 // alike — into errors, so one crashing simulation cannot take down the
 // whole harness process.
-func (c cell) runRecovered() (r workloads.Result, err error) {
+func (c cell) runRecovered(tr *trace.Recorder) (r workloads.Result, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			if e, ok := rec.(error); ok {
@@ -138,5 +146,5 @@ func (c cell) runRecovered() (r workloads.Result, err error) {
 			}
 		}
 	}()
-	return c.run()
+	return c.run(tr)
 }

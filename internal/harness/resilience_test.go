@@ -9,12 +9,13 @@ import (
 	"time"
 
 	"affinityalloc/internal/faults"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
 // okCell returns a cell that succeeds with a distinguishable checksum.
 func okCell(label string, sum uint64) cell {
-	return cell{label: label, run: func() (workloads.Result, error) {
+	return cell{label: label, run: func(rec *trace.Recorder) (workloads.Result, error) {
 		return workloads.Result{Checksum: sum}, nil
 	}}
 }
@@ -24,7 +25,7 @@ func okCell(label string, sum uint64) cell {
 func TestRunCellsPanicYieldsPartialResults(t *testing.T) {
 	cells := []cell{
 		okCell("c0", 10),
-		{label: "c1", run: func() (workloads.Result, error) { panic("simulated crash") }},
+		{label: "c1", run: func(rec *trace.Recorder) (workloads.Result, error) { panic("simulated crash") }},
 		okCell("c2", 20),
 		okCell("c3", 30),
 	}
@@ -54,7 +55,7 @@ func TestRunCellsPanicYieldsPartialResults(t *testing.T) {
 
 func TestRunCellsAggregatesFailuresInInputOrder(t *testing.T) {
 	boom := func(label string) cell {
-		return cell{label: label, run: func() (workloads.Result, error) {
+		return cell{label: label, run: func(rec *trace.Recorder) (workloads.Result, error) {
 			return workloads.Result{}, fmt.Errorf("%s exploded", label)
 		}}
 	}
@@ -78,7 +79,7 @@ func TestCellTimeoutFailsTheCellOnly(t *testing.T) {
 	defer close(release)
 	cells := []cell{
 		okCell("fast", 1),
-		{label: "wedged", run: func() (workloads.Result, error) {
+		{label: "wedged", run: func(rec *trace.Recorder) (workloads.Result, error) {
 			<-release // a simulation that never finishes on its own
 			return workloads.Result{}, nil
 		}},
@@ -101,7 +102,7 @@ func TestCellTimeoutFailsTheCellOnly(t *testing.T) {
 
 func TestTransientErrorsRetryUntilSuccess(t *testing.T) {
 	attempts := 0
-	c := cell{label: "flaky", run: func() (workloads.Result, error) {
+	c := cell{label: "flaky", run: func(rec *trace.Recorder) (workloads.Result, error) {
 		attempts++
 		if attempts < 3 {
 			return workloads.Result{}, fmt.Errorf("spurious wobble: %w", ErrTransient)
@@ -121,11 +122,11 @@ func TestRetriesExhaustAndNonTransientNeverRetries(t *testing.T) {
 	transient := 0
 	hard := 0
 	_, err := runCells(Options{Jobs: 1, CellRetries: 2}, []cell{
-		{label: "always-transient", run: func() (workloads.Result, error) {
+		{label: "always-transient", run: func(rec *trace.Recorder) (workloads.Result, error) {
 			transient++
 			return workloads.Result{}, fmt.Errorf("wobble %d: %w", transient, ErrTransient)
 		}},
-		{label: "hard", run: func() (workloads.Result, error) {
+		{label: "hard", run: func(rec *trace.Recorder) (workloads.Result, error) {
 			hard++
 			return workloads.Result{}, errors.New("deterministic failure")
 		}},

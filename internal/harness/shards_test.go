@@ -10,6 +10,7 @@ import (
 	"affinityalloc/internal/faults"
 	"affinityalloc/internal/sys"
 	"affinityalloc/internal/telemetry"
+	"affinityalloc/internal/trace"
 	"affinityalloc/internal/workloads"
 )
 
@@ -113,11 +114,11 @@ func TestAbandonedTimedOutCellCannotMutateSharedState(t *testing.T) {
 	opt := Options{Jobs: 2, CellTimeout: 30 * time.Millisecond,
 		Timing: &timing, Collect: &collect}
 	cells := []cell{
-		{label: "fast", run: func() (workloads.Result, error) {
+		{label: "fast", run: func(rec *trace.Recorder) (workloads.Result, error) {
 			return workloads.Result{Checksum: 1,
 				Metrics: sys.Metrics{Cycles: 7, Detail: &telemetry.Snapshot{}}}, nil
 		}},
-		{label: "wedged", run: func() (workloads.Result, error) {
+		{label: "wedged", run: func(rec *trace.Recorder) (workloads.Result, error) {
 			<-release // held past the timeout, completes only when released
 			defer close(zombieDone)
 			return workloads.Result{Checksum: 0xbad,

@@ -96,6 +96,11 @@ type Engine struct {
 
 	atomicSampler AtomicSampler
 
+	// obs, when set, observes stream-issue events (offloads and
+	// migrations) for the trace recorder. Observation reads nothing back
+	// and precedes the NoC send, so recording cannot perturb timing.
+	obs IssueObserver
+
 	// clocks, when attached, turn op-retirement accounting into events
 	// scheduled at each operation's completion cycle (see AttachClock).
 	// The handlers are bound once so scheduling allocates nothing.
@@ -240,10 +245,26 @@ func (e *Engine) bankFor(b int) int {
 	return b
 }
 
+// IssueObserver receives stream-issue events — offload configuration
+// packets and stream-state migrations — the second recording feed of
+// internal/trace (accesses themselves are observed at the memory
+// system). Banks reported are pre-redirect: a replay under different
+// faults re-applies its own redirects.
+type IssueObserver interface {
+	ObserveOffload(coreTile, firstBank int)
+	ObserveMigrate(from, to int)
+}
+
+// SetIssueObserver installs (or, with nil, removes) the issue observer.
+func (e *Engine) SetIssueObserver(o IssueObserver) { e.obs = o }
+
 // Offload models SEcore sending a stream configuration packet from the
 // core's tile to the stream's first bank, returning when the stream may
 // begin.
 func (e *Engine) Offload(now engine.Time, coreTile, firstBank int) engine.Time {
+	if e.obs != nil {
+		e.obs.ObserveOffload(coreTile, firstBank)
+	}
 	e.StreamsConfigured++
 	return e.net.Send(now, coreTile, e.bankFor(firstBank), noc.Offload, e.cfg.ConfigBytes)
 }
@@ -253,6 +274,9 @@ func (e *Engine) Offload(now engine.Time, coreTile, firstBank int) engine.Time {
 // data-dependent streams (pointer chasing), whose next bank is unknown
 // until the previous element returns.
 func (e *Engine) Migrate(now engine.Time, from, to int) engine.Time {
+	if e.obs != nil {
+		e.obs.ObserveMigrate(from, to)
+	}
 	from, to = e.bankFor(from), e.bankFor(to)
 	if from == to {
 		return now
@@ -265,6 +289,9 @@ func (e *Engine) Migrate(now engine.Time, from, to int) engine.Time {
 // is statically known: SEL3 configures the destination ahead of time, so
 // the move costs traffic but stays off the critical path.
 func (e *Engine) MigrateOverlapped(now engine.Time, from, to int) {
+	if e.obs != nil {
+		e.obs.ObserveMigrate(from, to)
+	}
 	from, to = e.bankFor(from), e.bankFor(to)
 	if from == to {
 		return

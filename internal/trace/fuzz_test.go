@@ -1,0 +1,86 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"affinityalloc/internal/trace"
+)
+
+// fuzzSeed builds a small hand-made trace exercising every event kind,
+// so the fuzzers start from structurally interesting corpora without
+// paying for a simulation per worker process.
+func fuzzSeed() *trace.Trace {
+	sc := trace.NoisyNeighbor(trace.NoiseSpec{Seed: 1, Bytes: 1 << 16, Bursts: 1, Flows: 4})
+	sc.Events = append(sc.Events,
+		trace.Event{Kind: trace.KindOpenPool, Interleave: 256},
+		trace.Event{Kind: trace.KindAlloc, Op: trace.OpAffine, ElemSize: 4, NumElem: 64,
+			Base: 0x1000, ResIl: 4096, Stride: 4, StartBank: 3, PageMapped: true},
+		trace.Event{Kind: trace.KindAlloc, Op: trace.OpNear, Size: 512,
+			Affinity: []trace.Ref{{Ref: 2, Elem: 7}, {Elem: -1, Raw: 0xdead}}},
+		trace.Event{Kind: trace.KindPreload, Ref: 2, Off: 64, Size: 128},
+		trace.Event{Kind: trace.KindFree, Ref: 3},
+		trace.Event{Kind: trace.KindAlloc, Op: trace.OpAffineBank, ElemSize: 8, NumElem: 16,
+			Bank: 5, Err: "simulated failure"},
+	)
+	return &trace.Trace{Scenarios: []*trace.Scenario{sc}}
+}
+
+// FuzzTraceDecode hammers the framed-binary decoder: arbitrary bytes
+// must never panic or over-allocate, and anything accepted must be
+// valid and re-encode/decode to the same trace (canonical form is a
+// fixed point).
+func FuzzTraceDecode(f *testing.F) {
+	seed := trace.Encode(fuzzSeed())
+	f.Add(seed)
+	f.Add(seed[:len(seed)-6])
+	f.Add([]byte("AFFTRC1\n"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), seed...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.Decode(data)
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid trace: %v", verr)
+		}
+		re := trace.Encode(tr)
+		tr2, err := trace.Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if !bytes.Equal(trace.Encode(tr2), re) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzTraceParseJSONL does the same for the JSONL parser.
+func FuzzTraceParseJSONL(f *testing.F) {
+	seed := trace.EncodeJSONL(fuzzSeed())
+	f.Add(seed)
+	f.Add([]byte(`{"format":"afftrace/v1"}`))
+	f.Add([]byte(`{"format":"afftrace/v1"}` + "\n" + `{"scenario":{"label":"x","mode":"Aff-Alloc","mesh_w":8,"mesh_h":8,"seed":1}}`))
+	f.Add([]byte(`{"format":"afftrace/v9"}`))
+	f.Add([]byte("{}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.ParseJSONL(data)
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("ParseJSONL accepted an invalid trace: %v", verr)
+		}
+		re := trace.EncodeJSONL(tr)
+		tr2, err := trace.ParseJSONL(re)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to parse: %v", err)
+		}
+		if !bytes.Equal(trace.EncodeJSONL(tr2), re) {
+			t.Fatal("JSONL re-encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// JSONL encoding: one JSON object per line. The first line is the
+// format marker, a scenario-header line opens each scenario, and every
+// following event line belongs to it until the next header or EOF:
+//
+//	{"format":"afftrace/v1"}
+//	{"scenario":{"label":"vecadd","mode":"Aff-Alloc",...}}
+//	{"ev":"alloc","op":"affine","elem_size":8,...}
+//	{"ev":"access","ref":1,"gran":4096,"touches":[...]}
+//
+// The JSONL form is the diffable/golden one; Encode/Decode is the
+// compact framed-binary one. EncodeJSONL and ParseJSONL round-trip.
+
+// jsonlHeader is the first line of every JSONL trace.
+type jsonlHeader struct {
+	Format string `json:"format"`
+}
+
+// jsonlScenario wraps a scenario-header line.
+type jsonlScenario struct {
+	Scenario *Scenario `json:"scenario"`
+}
+
+// EncodeJSONL serializes a trace to JSONL.
+func EncodeJSONL(t *Trace) []byte {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(jsonlHeader{Format: Version})
+	for _, sc := range t.Scenarios {
+		_ = enc.Encode(jsonlScenario{Scenario: sc})
+		for i := range sc.Events {
+			_ = enc.Encode(&sc.Events[i])
+		}
+	}
+	return b.Bytes()
+}
+
+// ParseJSONL parses the JSONL form, validating the result so corrupt
+// input errors instead of poisoning a replay.
+func ParseJSONL(data []byte) (*Trace, error) {
+	t := &Trace{}
+	var cur *Scenario
+	sawHeader := false
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if !sawHeader {
+			var h jsonlHeader
+			if err := json.Unmarshal([]byte(line), &h); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", ln+1, err)
+			}
+			if h.Format != Version {
+				return nil, fmt.Errorf("trace: line %d: format %q, want %q", ln+1, h.Format, Version)
+			}
+			sawHeader = true
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, `{"scenario"`):
+			var s jsonlScenario
+			if err := json.Unmarshal([]byte(line), &s); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", ln+1, err)
+			}
+			if s.Scenario == nil {
+				return nil, fmt.Errorf("trace: line %d: null scenario", ln+1)
+			}
+			t.Scenarios = append(t.Scenarios, s.Scenario)
+			cur = s.Scenario
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("trace: line %d: event before any scenario", ln+1)
+			}
+			var e Event
+			if err := json.Unmarshal([]byte(line), &e); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", ln+1, err)
+			}
+			cur.Events = append(cur.Events, e)
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: empty input (no %s header line)", Version)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DecodeAny auto-detects the encoding (binary magic vs JSONL) and
+// parses accordingly.
+func DecodeAny(data []byte) (*Trace, error) {
+	if bytes.HasPrefix(data, binMagic) {
+		return Decode(data)
+	}
+	return ParseJSONL(data)
+}
+
+// ReadFile loads a trace file in either encoding.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := DecodeAny(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// WriteFile writes a trace: JSONL when the path ends in .jsonl or
+// .json, framed binary otherwise.
+func WriteFile(path string, t *Trace) error {
+	var data []byte
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".json") {
+		data = EncodeJSONL(t)
+	} else {
+		data = Encode(t)
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,146 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"affinityalloc/internal/faults"
+	"affinityalloc/internal/sys"
+	"affinityalloc/internal/trace"
+	"affinityalloc/internal/workloads"
+)
+
+// recordUnder records one workload under a full configuration.
+func recordUnder(t *testing.T, w workloads.Workload, mode sys.Mode, seed int64, faultSpec string, shards int) *trace.Scenario {
+	t.Helper()
+	cfg := sys.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Shards = shards
+	if faultSpec != "" {
+		f, err := faults.Parse(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = f
+	}
+	rec := trace.NewRecorder(w.Name())
+	if _, err := workloads.RunTraced(cfg, w, mode, rec); err != nil {
+		t.Fatalf("record %s: %v", w.Name(), err)
+	}
+	return rec.Scenario()
+}
+
+// Record→replay placement identity: replaying a recorded scenario with
+// zero options must re-drive the allocator through the identical state
+// trajectory, yielding byte-identical placements — across workload
+// shapes (affine, irregular, pointer), fault specs, and shard counts.
+func TestReplayPlacementIdentity(t *testing.T) {
+	workloadSet := []workloads.Workload{
+		tinyVecAdd(),
+		tinyHashJoin(),
+		workloads.LinkList{Lists: 16, Nodes: 32, Queries: 1},
+	}
+	cases := []struct {
+		faults string
+		shards int
+	}{
+		{"", 1},
+		{"", 4},
+		{"dead-banks=2", 1},
+		{"dead-banks=2", 4},
+	}
+	for _, w := range workloadSet {
+		for _, c := range cases {
+			t.Run(fmt.Sprintf("%s/faults=%s/shards=%d", w.Name(), c.faults, c.shards), func(t *testing.T) {
+				sc := recordUnder(t, w, sys.AffAlloc, 1, c.faults, c.shards)
+				res, err := trace.Replay(sc, trace.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, want := res.PlacementDump(), trace.RecordedDump(sc)
+				if !bytes.Equal(got, want) {
+					t.Errorf("placements diverged:\n--- replay\n%s--- recorded\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// A round trip through both encodings must not perturb replay.
+func TestReplayAfterEncodeRoundTrip(t *testing.T) {
+	sc := recordUnder(t, tinyHashJoin(), sys.AffAlloc, 1, "", 1)
+	want := trace.RecordedDump(sc)
+	tr := &trace.Trace{Scenarios: []*trace.Scenario{sc}}
+	for _, enc := range []struct {
+		name string
+		data []byte
+	}{
+		{"binary", trace.Encode(tr)},
+		{"jsonl", trace.EncodeJSONL(tr)},
+	} {
+		got, err := trace.DecodeAny(enc.data)
+		if err != nil {
+			t.Fatalf("%s: %v", enc.name, err)
+		}
+		res, err := trace.Replay(got.Scenarios[0], trace.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", enc.name, err)
+		}
+		if !bytes.Equal(res.PlacementDump(), want) {
+			t.Errorf("%s: decoded scenario replays differently", enc.name)
+		}
+	}
+}
+
+// Replay must accept mode/policy/faults/shard overrides and still
+// produce a deterministic result (same overrides → same placements).
+func TestReplayOverridesAreDeterministic(t *testing.T) {
+	sc := recordUnder(t, tinyHashJoin(), sys.AffAlloc, 1, "", 1)
+	opts := []trace.Options{
+		{Mode: "In-Core"},
+		{Mode: "Near-L3"},
+		{Policy: "minhop"},
+		{Policy: "rnd"},
+		{Faults: "dead-banks=1"},
+		{Shards: 4},
+	}
+	for _, opt := range opts {
+		a, err := trace.Replay(sc, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		b, err := trace.Replay(sc, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if !bytes.Equal(a.PlacementDump(), b.PlacementDump()) {
+			t.Errorf("%+v: replay is not deterministic", opt)
+		}
+		if a.Cycles != b.Cycles {
+			t.Errorf("%+v: cycles differ: %d vs %d", opt, a.Cycles, b.Cycles)
+		}
+	}
+}
+
+// Shards must stay a pure throughput knob on the replay path too:
+// placements and cycle counts are byte-identical at every shard count.
+func TestReplayShardInvariance(t *testing.T) {
+	sc := recordUnder(t, tinyVecAdd(), sys.AffAlloc, 1, "", 1)
+	base, err := trace.Replay(sc, trace.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		r, err := trace.Replay(sc, trace.Options{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r.PlacementDump(), base.PlacementDump()) {
+			t.Errorf("shards=%d: placements diverged from shards=1", shards)
+		}
+		if r.Cycles != base.Cycles {
+			t.Errorf("shards=%d: cycles %d != %d", shards, r.Cycles, base.Cycles)
+		}
+	}
+}

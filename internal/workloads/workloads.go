@@ -19,6 +19,7 @@ import (
 	"affinityalloc/internal/cpu"
 	"affinityalloc/internal/engine"
 	"affinityalloc/internal/sys"
+	"affinityalloc/internal/trace"
 )
 
 // Result is one run's outcome.
@@ -39,11 +40,23 @@ type Workload interface {
 
 // Run builds a system from cfg and runs w under mode.
 func Run(cfg sys.Config, w Workload, mode sys.Mode) (Result, error) {
+	return RunTraced(cfg, w, mode, nil)
+}
+
+// RunTraced is Run with an optional trace recorder attached to the
+// system's observer hooks before the workload executes (nil records
+// nothing). Observation is outcome-only, so a recording run returns
+// byte-identical Results to a direct run.
+func RunTraced(cfg sys.Config, w Workload, mode sys.Mode, rec *trace.Recorder) (Result, error) {
 	s, err := sys.New(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return w.Run(s, mode)
+	rec.Begin(cfg, mode)
+	rec.Attach(s)
+	r, err := w.Run(s, mode)
+	rec.Finish(uint64(r.Metrics.Cycles))
+	return r, err
 }
 
 // checksum hashes a stream of words.
