@@ -8,6 +8,7 @@
 //	affsim -all [-scale ...] [-seed N] [-j N] [-timing]
 //	affsim -workload bfs [-scale ...] [-policy hybrid5|minhop|rnd|lnr] [-mode affalloc]
 //	affsim ... [-faults dead-banks=2,dead-links=2] (degraded-substrate runs)
+//	affsim ... [-realloc epoch=2000,threshold=0.25] (online re-allocation)
 //	affsim ... [-metrics-out m.json] [-trace-out t.json] [-pprof cpu.prof]
 //	affsim ... [-record run.jsonl] (record an afftrace/v1 scenario trace)
 //	affsim -replay run.jsonl (re-drive a recorded trace; verifies placements)
@@ -45,7 +46,7 @@ import (
 func main() {
 	cc := cliconf.Register(flag.CommandLine,
 		cliconf.HarnessFlags|cliconf.ArtifactFlags|cliconf.FlagPolicy|
-			cliconf.FlagRecord|cliconf.FlagReplay)
+			cliconf.FlagRecord|cliconf.FlagReplay|cliconf.FlagRealloc)
 	var (
 		list     = flag.Bool("list", false, "list experiments and workloads")
 		exp      = flag.String("exp", "", "experiment id to regenerate (fig4, fig6, fig12, ...)")
@@ -194,7 +195,10 @@ func runExperiment(cc *cliconf.Config, opt harness.Options, exp string) error {
 }
 
 func workloadSet(opt harness.Options) []workloads.Workload {
-	return harness.AllWorkloads(opt)
+	// skew (the two-phase hotspot behind the online-reallocation tests) is
+	// runnable directly but is not part of the Fig-12 suite, so it is
+	// appended here rather than to harness.AllWorkloads.
+	return append(harness.AllWorkloads(opt), workloads.DefaultSkew())
 }
 
 // parseModes resolves the -mode flag: "all" (or empty) selects the three
@@ -288,6 +292,7 @@ func runWorkload(cc *cliconf.Config, opt harness.Options, name, modeStr string, 
 	cfg.Policy = pcfg
 	cfg.Faults = opt.Faults
 	cfg.Shards = opt.Shards
+	cfg.Realloc = opt.Realloc
 	var base workloads.Result
 	var cells []harness.CollectedCell
 	var failed []harness.CellFailure

@@ -7,6 +7,7 @@
 //	afftables [-scale tiny|default|paper] [-seed N] [-j N] [-shards K] [-timing]
 //	          [-o report.txt] [-only fig12,fig13]
 //	          [-faults dead-banks=2] [-faults-sweep] [-colocation]
+//	          [-realloc epoch=2000,...] [-realloc-sweep]
 //	          [-metrics-out m.json] [-trace-out t.json] [-pprof cpu.prof]
 //
 // Experiments run concurrently across -j worker goroutines and their
@@ -32,12 +33,13 @@ import (
 )
 
 func main() {
-	cc := cliconf.Register(flag.CommandLine, cliconf.HarnessFlags|cliconf.ArtifactFlags)
+	cc := cliconf.Register(flag.CommandLine, cliconf.HarnessFlags|cliconf.ArtifactFlags|cliconf.FlagRealloc)
 	var (
 		outPath = flag.String("o", "", "output file (default stdout)")
 		only    = flag.String("only", "", "comma-separated experiment ids (default all)")
 		sweep   = flag.Bool("faults-sweep", false, "render the degraded-substrate sweep (dead banks/links x allocation modes) instead of the report")
 		coloc   = flag.Bool("colocation", false, "render the trace-composed multi-tenant colocation interference table instead of the report")
+		reSweep = flag.Bool("realloc-sweep", false, "render the static-vs-dynamic placement sweep (clean and mid-run bank-kill scenarios) instead of the report")
 	)
 	flag.Parse()
 
@@ -86,6 +88,20 @@ func main() {
 			os.Exit(1)
 		}
 		fig.Render(out)
+		return
+	}
+
+	if *reSweep {
+		// Like -faults-sweep, per-cell failures render as FAILED(<reason>)
+		// cells and only flip the exit status.
+		fig, err := harness.ReallocSweep(opt)
+		if fig != nil {
+			fig.Render(out)
+		}
+		if err != nil {
+			failSummary(err)
+			os.Exit(1)
+		}
 		return
 	}
 

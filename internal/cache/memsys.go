@@ -69,6 +69,19 @@ type MemSystem struct {
 	// run stays byte-identical to a direct run.
 	obs AccessObserver
 
+	// kills holds the pending mid-run bank kills sorted by cycle; the
+	// first access whose cycle reaches the head entry applies it. onKill
+	// notifies the system (injector bookkeeping, stream-engine redirect
+	// rebuild) after the space has marked the bank dead.
+	kills  []faults.BankKill
+	onKill func(at engine.Time, bank int)
+
+	// onAccess, when set, feeds every timed access to the online
+	// reconciler. It is a dedicated hook — not an AccessObserver — so it
+	// composes with trace recording, and it runs after the kill check so
+	// an epoch closing at cycle T observes any bank killed at T.
+	onAccess func(now engine.Time, va memsim.Addr)
+
 	// clocks, when attached, turn bank-occupancy and DRAM-completion
 	// accounting into retirement events scheduled at the completion cycle
 	// (see AttachClock). The handlers are bound once so scheduling
@@ -266,8 +279,47 @@ type AccessObserver interface {
 // SetObserver installs (or, with nil, removes) the access observer.
 func (m *MemSystem) SetObserver(o AccessObserver) { m.obs = o }
 
+// SetAccessHook installs the reconciler's per-access feed (nil removes
+// it). The hook must not issue accesses itself; MigrateLines is the one
+// re-entry it is allowed.
+func (m *MemSystem) SetAccessHook(h func(now engine.Time, va memsim.Addr)) { m.onAccess = h }
+
+// SetBankKills arms the mid-run bank kills (sorted by cycle; the
+// injector's BankKills order). onKill runs after each kill has been
+// applied to the address space.
+func (m *MemSystem) SetBankKills(kills []faults.BankKill, onKill func(at engine.Time, bank int)) {
+	m.kills = append([]faults.BankKill(nil), kills...)
+	m.onKill = onKill
+}
+
+// applyKills fires every armed kill whose cycle has been reached. The
+// access that carried the clock past the kill cycle still lands on the
+// bank it resolved before the kill — one in-flight access, deterministic
+// in every configuration — and every later lookup sees the dead bank.
+func (m *MemSystem) applyKills(now engine.Time) {
+	for len(m.kills) > 0 && now >= engine.Time(m.kills[0].At) {
+		k := m.kills[0]
+		m.kills = m.kills[1:]
+		if err := m.space.KillBank(k.Bank); err != nil {
+			panic(fmt.Sprintf("cache: armed kill-bank %d invalid despite injector validation (programmer error): %v", k.Bank, err))
+		}
+		if m.onKill != nil {
+			m.onKill(engine.Time(k.At), k.Bank)
+		}
+	}
+	if len(m.kills) == 0 {
+		m.kills = nil
+	}
+}
+
 // AccessAt is Access for callers that already resolved the home bank.
 func (m *MemSystem) AccessAt(now engine.Time, bank int, va memsim.Addr, write bool) (done engine.Time, hit bool) {
+	if m.kills != nil {
+		m.applyKills(now)
+	}
+	if m.onAccess != nil {
+		m.onAccess(now, va)
+	}
 	if m.obs != nil {
 		m.obs.ObserveAccess(va, write)
 	}
@@ -408,6 +460,50 @@ func (m *MemSystem) ResetStats() {
 		m.chanReads[i], m.chanWrites[i], m.chanQueueCycles[i] = 0, 0, 0
 	}
 	m.DRAMReads, m.DRAMWrites = 0, 0
+}
+
+// MigrateLines models re-homing the lines of [va, va+bytes) from bank
+// `from` to bank `to`, starting no earlier than cycle now: per line, a
+// read occupying the source bank port, a data-class NoC transfer from
+// source to destination, and a write occupying the destination port that
+// installs the line there. Everything flows through the shared servers
+// and the mesh — migration is honest traffic, not teleportation — and
+// the caller flips the address-space override separately. Returns the
+// completion cycle of the last line.
+func (m *MemSystem) MigrateLines(now engine.Time, from, to int, va memsim.Addr, bytes int64) engine.Time {
+	done := now
+	end := va + memsim.Addr(bytes)
+	for line := memsim.LineAddr(va); line < end; line += memsim.LineSize {
+		rd := m.bankSrv[from].Reserve(now, int(m.cfg.BankOccupancy))
+		m.chargeBankBusy(from, rd)
+		arrive := m.net.Send(rd+m.cfg.L3HitLatency, from, to, noc.Data, memsim.LineSize)
+		wr := m.bankSrv[to].Reserve(arrive, int(m.cfg.BankOccupancy))
+		m.chargeBankBusy(to, wr)
+		m.banks[to].Install(uint64(memsim.Line(line)))
+		if fin := wr + m.cfg.L3HitLatency; fin > done {
+			done = fin
+		}
+	}
+	return done
+}
+
+// chargeBankBusy accounts one access worth of port occupancy at cycle
+// start, deferred through the event kernel when a coordinator is
+// attached (the same path AccessAt uses).
+func (m *MemSystem) chargeBankBusy(bank int, start engine.Time) {
+	if m.clocks != nil {
+		m.retire(m.bankSim[bank], start, m.bankBusyFn, uint64(bank)<<bankBusyBits|uint64(m.cfg.BankOccupancy))
+	} else {
+		m.bankBusy[bank] += uint64(m.cfg.BankOccupancy)
+	}
+}
+
+// MigrationCostModel returns the planner's per-line and per-hop cycle
+// costs, matching what MigrateLines actually charges: two port
+// reservations plus two bank latencies per line, and the NoC's per-hop
+// traversal for the transfer distance.
+func (m *MemSystem) MigrationCostModel() (lineCycles, hopCycles float64) {
+	return float64(2*m.cfg.BankOccupancy + 2*m.cfg.L3HitLatency), float64(m.net.PerHopCycles())
 }
 
 // MaxBankFree reports the latest bank schedule horizon — a debugging aid

@@ -1,6 +1,6 @@
 // Package cliconf is the single definition of the flags shared by the
 // repository's binaries (affsim, afftables, affinityd, affload):
-// -scale, -seed, -j, -shards, -policy, -faults, -metrics-out,
+// -scale, -seed, -j, -shards, -policy, -faults, -realloc, -metrics-out,
 // -trace-out, -pprof, -timing, -record and -replay. Each binary registers the subset it
 // serves, so names, defaults and help text cannot drift between CLIs,
 // and resolves them into validated harness.Options / core.PolicyConfig
@@ -16,6 +16,7 @@ import (
 	"affinityalloc/internal/core"
 	"affinityalloc/internal/faults"
 	"affinityalloc/internal/harness"
+	"affinityalloc/internal/realloc"
 )
 
 // Flags selects which canonical flags to register.
@@ -46,6 +47,10 @@ const (
 	FlagRecord
 	// FlagReplay registers -replay (afftrace/v1 scenario replay).
 	FlagReplay
+	// FlagRealloc registers -realloc (online re-allocation; see
+	// realloc.Parse). Not part of HarnessFlags so binaries opt in
+	// explicitly — affinityd, for instance, serves placement only.
+	FlagRealloc
 
 	// HarnessFlags is the experiment-harness set.
 	HarnessFlags = FlagScale | FlagSeed | FlagJobs | FlagShards | FlagFaults | FlagTiming
@@ -68,6 +73,7 @@ type Config struct {
 	Timing     bool
 	RecordOut  string
 	ReplayIn   string
+	ReallocStr string
 }
 
 // Register installs the selected flags on fs (use flag.CommandLine in
@@ -110,12 +116,21 @@ func Register(fs *flag.FlagSet, which Flags) *Config {
 	if which&FlagReplay != 0 {
 		fs.StringVar(&c.ReplayIn, "replay", "", "replay a recorded afftrace/v1 trace instead of simulating, verifying placements against the recording")
 	}
+	if which&FlagRealloc != 0 {
+		fs.StringVar(&c.ReallocStr, "realloc", "", "enable the online reconciler, e.g. epoch=2000,threshold=0.25,budget=4,hysteresis=3,payback=8 (see realloc.Parse)")
+	}
 	return c
 }
 
 // Faults parses the -faults value.
 func (c *Config) Faults() (faults.Spec, error) {
 	return faults.Parse(c.FaultsStr)
+}
+
+// Realloc parses the -realloc value (a zero Config — disabled — when
+// the flag was empty or unregistered).
+func (c *Config) Realloc() (realloc.Config, error) {
+	return realloc.Parse(c.ReallocStr)
 }
 
 // Policy parses the -policy value.
@@ -135,7 +150,11 @@ func (c *Config) Options() (harness.Options, error) {
 	if err != nil {
 		return harness.Options{}, err
 	}
-	opt := harness.Options{Scale: scale, Seed: c.Seed, Jobs: c.Jobs, Shards: c.Shards, Faults: spec}
+	rcfg, err := c.Realloc()
+	if err != nil {
+		return harness.Options{}, err
+	}
+	opt := harness.Options{Scale: scale, Seed: c.Seed, Jobs: c.Jobs, Shards: c.Shards, Faults: spec, Realloc: rcfg}
 	if err := opt.Validate(); err != nil {
 		return harness.Options{}, err
 	}

@@ -220,6 +220,23 @@ func (r *Runtime) LoadVector() []int {
 	return out
 }
 
+// NoteMigration keeps the Eq. 4 load vector consistent when the online
+// reconciler re-homes a granule: the load the original allocation
+// charged to the source bank follows the data, so subsequent
+// Rnd/Lnr/MinHop/hybrid decisions score the post-migration machine
+// rather than the placement history. The source's load can already be
+// zero when the migrated granule was affine (never load-charged); the
+// vector only moves load it actually holds.
+func (r *Runtime) NoteMigration(from, to int) {
+	if from == to || from < 0 || to < 0 || from >= len(r.load) || to >= len(r.load) {
+		return
+	}
+	if r.load[from] > 0 {
+		r.load[from]--
+		r.load[to]++
+	}
+}
+
 // ArrayOf returns the layout record for an affine array's base address.
 func (r *Runtime) ArrayOf(base memsim.Addr) (*ArrayInfo, bool) {
 	a, ok := r.arrays[base]

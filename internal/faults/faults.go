@@ -42,6 +42,15 @@ type DRAMFault struct {
 	DutyPeriod uint64
 }
 
+// BankKill disables one L3 bank mid-run: the bank dies at the first
+// memory access whose cycle reaches At. Unlike DeadBanks — resolved once
+// at machine-build time — a kill degrades a machine that has already
+// placed data, which is the scenario the online reconciler exists for.
+type BankKill struct {
+	Bank int
+	At   uint64
+}
+
 // Spec is the declarative fault configuration carried in sys.Config. The
 // zero value injects nothing. Specs parse from the -faults flag grammar
 // (see Parse) and validate against a concrete topology when the injector
@@ -62,12 +71,14 @@ type Spec struct {
 	Links []LinkFault
 	// DRAM lists per-channel throttles.
 	DRAM []DRAMFault
+	// Kills lists banks that die mid-run at a given cycle.
+	Kills []BankKill
 }
 
 // Empty reports whether the spec injects nothing.
 func (s Spec) Empty() bool {
 	return len(s.DeadBanks) == 0 && s.NDeadBanks == 0 && s.NDeadLinks == 0 &&
-		len(s.Links) == 0 && len(s.DRAM) == 0
+		len(s.Links) == 0 && len(s.DRAM) == 0 && len(s.Kills) == 0
 }
 
 // seed returns the effective RNG seed.
@@ -97,7 +108,23 @@ func (s Spec) Check(banks, channels int) error {
 	if s.NDeadBanks < 0 || s.NDeadLinks < 0 {
 		return fmt.Errorf("faults: negative auto-pick count (dead-banks=%d, dead-links=%d)", s.NDeadBanks, s.NDeadLinks)
 	}
-	if dead := len(s.DeadBanks) + s.NDeadBanks; dead >= banks {
+	killed := make(map[int]bool, len(s.Kills))
+	for _, k := range s.Kills {
+		if k.Bank < 0 || k.Bank >= banks {
+			return fmt.Errorf("faults: kill-bank %d out of range [0,%d)", k.Bank, banks)
+		}
+		if k.At == 0 {
+			return fmt.Errorf("faults: kill-bank %d at cycle 0 — use dead-bank for build-time faults", k.Bank)
+		}
+		if killed[k.Bank] {
+			return fmt.Errorf("faults: bank %d killed twice", k.Bank)
+		}
+		if seen[k.Bank] {
+			return fmt.Errorf("faults: bank %d both dead and killed", k.Bank)
+		}
+		killed[k.Bank] = true
+	}
+	if dead := len(s.DeadBanks) + s.NDeadBanks + len(s.Kills); dead >= banks {
 		return fmt.Errorf("faults: %d dead banks leaves no survivor of %d", dead, banks)
 	}
 	for _, l := range s.Links {
@@ -142,6 +169,7 @@ func (s Spec) Check(banks, channels int) error {
 //	drop-link=A>B:P        drop flits on link A>B with probability P in [0,1)
 //	dram-slow=C:X          multiply channel C's access latency by X (>= 1)
 //	dram-blackout=C:ON/PER channel C serves only ON of every PER cycles
+//	kill-bank=B@T          disable bank B mid-run at sim-cycle T (> 0)
 //
 // An empty string parses to the empty spec.
 func Parse(v string) (Spec, error) {
@@ -242,6 +270,20 @@ func Parse(v string) (Spec, error) {
 			}
 			f := dramFaultFor(dram, &s, c)
 			f.DutyOn, f.DutyPeriod = on, per
+		case "kill-bank":
+			bStr, tStr, ok := strings.Cut(val, "@")
+			if !ok {
+				return Spec{}, fmt.Errorf("faults: kill-bank %q: want B@T", val)
+			}
+			b, err := strconv.Atoi(bStr)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: kill-bank bank %q: %v", bStr, err)
+			}
+			at, err := strconv.ParseUint(tStr, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: kill-bank cycle %q: %v", tStr, err)
+			}
+			s.Kills = append(s.Kills, BankKill{Bank: b, At: at})
 		default:
 			return Spec{}, fmt.Errorf("faults: unknown clause %q", key)
 		}
@@ -311,6 +353,9 @@ func (s Spec) String() string {
 		if d.DutyPeriod != 0 {
 			parts = append(parts, fmt.Sprintf("dram-blackout=%d:%d/%d", d.Chan, d.DutyOn, d.DutyPeriod))
 		}
+	}
+	for _, k := range s.Kills {
+		parts = append(parts, fmt.Sprintf("kill-bank=%d@%d", k.Bank, k.At))
 	}
 	return strings.Join(parts, ",")
 }

@@ -3,6 +3,7 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"affinityalloc/internal/engine"
 	"affinityalloc/internal/telemetry"
@@ -54,14 +55,18 @@ type Injector struct {
 	// (from, to) pair, keyed from*banks+to.
 	detours map[int][]topo.Link
 
+	// kills holds the resolved mid-run bank kills, sorted by (At, Bank).
+	kills []BankKill
+
 	// Counters (telemetry: fault_*).
-	DropEvents      uint64 // messages that lost flits on a lossy link
-	RetransmitFlits uint64 // flits re-sent over lossy links
-	DetourMessages  uint64 // messages routed around dead links
-	DetourExtraHops uint64 // hops beyond the clean X-Y distance
-	DRAMStallCycles uint64 // cycles requests waited out channel blackouts
-	instants        []telemetry.Instant
-	instantsDropped uint64
+	DropEvents       uint64 // messages that lost flits on a lossy link
+	RetransmitFlits  uint64 // flits re-sent over lossy links
+	DetourMessages   uint64 // messages routed around dead links
+	DetourExtraHops  uint64 // hops beyond the clean X-Y distance
+	DRAMStallCycles  uint64 // cycles requests waited out channel blackouts
+	BankKillsApplied uint64 // mid-run bank kills that have fired
+	instants         []telemetry.Instant
+	instantsDropped  uint64
 }
 
 // New resolves a spec against a concrete mesh with the given DRAM channel
@@ -131,6 +136,13 @@ func New(spec Spec, mesh *topo.Mesh, channels int) (*Injector, error) {
 		}
 	}
 
+	// Mid-run kill targets: auto-picked dead banks must not claim them
+	// (a bank cannot die at build time and again at cycle T).
+	killTarget := make(map[int]bool, len(spec.Kills))
+	for _, k := range spec.Kills {
+		killTarget[k.Bank] = true
+	}
+
 	// Dead banks: explicit first, then auto-picked.
 	for _, b := range spec.DeadBanks {
 		f.deadBank[b] = true
@@ -146,10 +158,13 @@ func New(spec Spec, mesh *topo.Mesh, channels int) (*Injector, error) {
 			if picked == spec.NDeadBanks {
 				break
 			}
-			if !f.deadBank[b] {
+			if !f.deadBank[b] && !killTarget[b] {
 				f.deadBank[b] = true
 				picked++
 			}
+		}
+		if picked < spec.NDeadBanks {
+			return nil, fmt.Errorf("faults: could only disable %d of %d auto-picked banks", picked, spec.NDeadBanks)
 		}
 	}
 	for b, dead := range f.deadBank {
@@ -161,6 +176,18 @@ func New(spec Spec, mesh *topo.Mesh, channels int) (*Injector, error) {
 	}
 	if len(f.survivor) == 0 {
 		return nil, fmt.Errorf("faults: no surviving bank")
+	}
+	if len(spec.Kills) > 0 {
+		if len(f.survivor) <= len(spec.Kills) {
+			return nil, fmt.Errorf("faults: %d mid-run kills leave no survivor of %d alive banks", len(spec.Kills), len(f.survivor))
+		}
+		f.kills = append(f.kills, spec.Kills...)
+		sort.Slice(f.kills, func(i, j int) bool {
+			if f.kills[i].At != f.kills[j].At {
+				return f.kills[i].At < f.kills[j].At
+			}
+			return f.kills[i].Bank < f.kills[j].Bank
+		})
 	}
 
 	// Record the configured degradation as cycle-0 trace instants.
@@ -286,6 +313,35 @@ func (f *Injector) stronglyConnected() bool {
 		}
 	}
 	return true
+}
+
+// BankKills returns the resolved mid-run kills, sorted by (At, Bank) —
+// the deterministic order cache.MemSystem applies them in.
+func (f *Injector) BankKills() []BankKill {
+	return append([]BankKill(nil), f.kills...)
+}
+
+// NoteBankKill records a mid-run bank kill that has fired: the injector's
+// own dead-bank view (NearestAlive, telemetry) tracks the shrunken
+// machine, and the occurrence lands in the trace as a bank_kill instant.
+// memsim.Space.KillBank applies the actual remap; this keeps the
+// injector's bookkeeping in step.
+func (f *Injector) NoteBankKill(at engine.Time, b int) {
+	if f.deadBank[b] {
+		return
+	}
+	f.deadBank[b] = true
+	f.deadList = f.deadList[:0]
+	f.survivor = f.survivor[:0]
+	for bank, dead := range f.deadBank {
+		if dead {
+			f.deadList = append(f.deadList, bank)
+		} else {
+			f.survivor = append(f.survivor, bank)
+		}
+	}
+	f.BankKillsApplied++
+	f.instant("bank_kill", uint64(at))
 }
 
 // DeadBankList returns the sorted dead banks (for memsim.Config).
@@ -479,6 +535,11 @@ func (f *Injector) PublishTelemetry(r *telemetry.Registry) {
 	r.Set("fault_detour_messages", f.DetourMessages)
 	r.Set("fault_detour_extra_hops", f.DetourExtraHops)
 	r.Set("fault_dram_stall_cycles", f.DRAMStallCycles)
+	if len(f.spec.Kills) > 0 {
+		// Only kill-bank specs carry the key, so existing faulted
+		// baselines stay byte-identical.
+		r.Set("fault_bank_kills", f.BankKillsApplied)
+	}
 	r.Set("fault_instants_dropped", f.instantsDropped)
 	for _, in := range f.instants {
 		r.AddInstant(in)

@@ -14,6 +14,7 @@ import (
 	"affinityalloc/internal/core"
 	"affinityalloc/internal/faults"
 	"affinityalloc/internal/graph"
+	"affinityalloc/internal/realloc"
 	"affinityalloc/internal/stats"
 	"affinityalloc/internal/sys"
 	"affinityalloc/internal/trace"
@@ -92,6 +93,11 @@ type Options struct {
 	// deterministic for any Jobs value: each cell's system owns its own
 	// injector.
 	Faults faults.Spec
+	// Realloc, when enabled, arms every cell's online reconciler (see
+	// realloc.Config). Deterministic like Faults: each cell's system
+	// owns its own reconciler, and the migration schedule depends only
+	// on seed and config — never on Jobs or Shards.
+	Realloc realloc.Config
 	// CellTimeout bounds one cell's wall-clock run; an overrunning cell
 	// fails with a timeout error while its siblings keep running (0: no
 	// timeout).
@@ -184,6 +190,7 @@ func baseConfig(opt Options, pcfg core.PolicyConfig) sys.Config {
 	cfg.Policy = pcfg
 	cfg.Faults = opt.Faults
 	cfg.Shards = opt.Shards
+	cfg.Realloc = opt.Realloc
 	return cfg
 }
 

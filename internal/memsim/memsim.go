@@ -130,6 +130,18 @@ func (t *IOT) Lookup(pa PAddr) (IOTEntry, bool) {
 	return IOTEntry{}, false
 }
 
+// peek is Lookup without the Lookups counter, for observers (telemetry,
+// the online reconciler) whose queries must not perturb the counters a
+// real machine would expose.
+func (t *IOT) peek(pa PAddr) (IOTEntry, bool) {
+	for _, e := range t.entries {
+		if pa >= e.Start && pa < e.End {
+			return e, true
+		}
+	}
+	return IOTEntry{}, false
+}
+
 // Len returns the number of installed entries.
 func (t *IOT) Len() int { return len(t.entries) }
 
@@ -216,12 +228,21 @@ type Space struct {
 	deadBank  []bool
 	survivors []int
 
+	// overrides is the migration remap layered over the nominal IOT /
+	// static-NUCA placement: granule physical base -> new home bank. It
+	// stays nil until the online reconciler actually moves a chunk, so
+	// runs without migrations keep the untouched fast path.
+	overrides map[PAddr]int
+
 	// PageFaults counts demand mappings of heap pages.
 	PageFaults uint64
 	// PoolExpansions counts runtime requests for more pool space.
 	PoolExpansions uint64
 	// RemappedAccesses counts bank lookups rehomed off dead banks.
 	RemappedAccesses uint64
+	// MigratedAccesses counts bank lookups answered by a migration
+	// override instead of the nominal placement.
+	MigratedAccesses uint64
 }
 
 // NewSpace builds an address space per cfg. Pools are reserved lazily: the
@@ -459,22 +480,138 @@ func (s *Space) Bank(va Addr) (int, error) {
 }
 
 // BankOfPhys maps a physical address to its L3 bank, consulting the IOT
-// exactly as an L2/L3 cache controller would. Lines nominally homed on a
-// dead bank are rehomed deterministically across the survivors (spread by
-// line number, so one dead bank's sets scatter rather than pile onto a
-// single neighbor) — the remap every placement decision observes.
+// exactly as an L2/L3 cache controller would. The lookup layers three
+// mechanisms, in order: the nominal placement (IOT interleave for pool
+// addresses, static-NUCA otherwise), then the migration override table
+// (one entry per re-homed granule), then the dead-bank rehome. Lines
+// nominally homed on a dead bank are rehomed deterministically across
+// the survivors (spread by line number, so one dead bank's sets scatter
+// rather than pile onto a single neighbor) — the remap every placement
+// decision observes.
 func (s *Space) BankOfPhys(pa PAddr) int {
 	var b int
+	var gstart PAddr
 	if e, ok := s.iot.Lookup(pa); ok {
-		b = int(((pa - e.Start) / PAddr(e.Interleave)) % PAddr(s.cfg.Banks))
+		i := PAddr(e.Interleave)
+		gstart = e.Start + (pa-e.Start)/i*i
+		b = int(((pa - e.Start) / i) % PAddr(s.cfg.Banks))
 	} else {
-		b = int((pa / PAddr(s.cfg.DefaultInterleave)) % PAddr(s.cfg.Banks))
+		i := PAddr(s.cfg.DefaultInterleave)
+		gstart = pa / i * i
+		b = int((pa / i) % PAddr(s.cfg.Banks))
+	}
+	if s.overrides != nil {
+		if nb, ok := s.overrides[gstart]; ok {
+			b = nb
+			s.MigratedAccesses++
+		}
 	}
 	if s.deadBank != nil && s.deadBank[b] {
 		b = s.survivors[int((pa/LineSize)%PAddr(len(s.survivors)))]
 		s.RemappedAccesses++
 	}
 	return b
+}
+
+// Granule returns the placement granule containing va: the maximal
+// aligned virtual window whose lines share one nominal home bank — the
+// pool interleave for pool addresses, the default NUCA interleave for
+// heap and page-mapped data. Granules are the unit the online
+// reconciler counts, plans and migrates; because pools are physically
+// contiguous and heap/page-mapped backing is page-granular with
+// interleaves dividing the page size, a virtual granule always maps to
+// one contiguous, identically-aligned physical granule.
+func (s *Space) Granule(va Addr) (start Addr, size int) {
+	if p := s.PoolOf(va); p != nil {
+		i := Addr(p.Interleave)
+		return p.Start + (va-p.Start)/i*i, p.Interleave
+	}
+	i := Addr(s.cfg.DefaultInterleave)
+	return va / i * i, s.cfg.DefaultInterleave
+}
+
+// HomeBank returns the placement-intent home bank of the granule
+// containing va: the migration override when one is installed, the
+// nominal IOT/static-NUCA bank otherwise — possibly a dead bank, which
+// is exactly what the reconciler needs to see to re-home the granule.
+// Unlike Bank it never touches the Lookups/RemappedAccesses/
+// MigratedAccesses counters: it is an observer's query, not a modeled
+// hardware lookup.
+func (s *Space) HomeBank(va Addr) (int, error) {
+	gva, _ := s.Granule(va)
+	pa, err := s.Translate(gva)
+	if err != nil {
+		return 0, err
+	}
+	var b int
+	if e, ok := s.iot.peek(pa); ok {
+		b = int(((pa - e.Start) / PAddr(e.Interleave)) % PAddr(s.cfg.Banks))
+	} else {
+		b = int((pa / PAddr(s.cfg.DefaultInterleave)) % PAddr(s.cfg.Banks))
+	}
+	if s.overrides != nil {
+		if nb, ok := s.overrides[pa]; ok {
+			b = nb
+		}
+	}
+	return b, nil
+}
+
+// SetHomeOverride re-homes the granule containing va to bank `to`,
+// layering a migration entry over the nominal placement. Installing an
+// override never moves data or charges cycles — the caller
+// (cache.MemSystem.MigrateLines) models the traffic.
+func (s *Space) SetHomeOverride(va Addr, to int) error {
+	if to < 0 || to >= s.cfg.Banks {
+		return fmt.Errorf("memsim: override bank %d out of range [0,%d)", to, s.cfg.Banks)
+	}
+	gva, _ := s.Granule(va)
+	pa, err := s.Translate(gva)
+	if err != nil {
+		return err
+	}
+	if s.overrides == nil {
+		s.overrides = make(map[PAddr]int)
+	}
+	s.overrides[pa] = to
+	return nil
+}
+
+// HomeOverrides returns the number of installed migration overrides.
+func (s *Space) HomeOverrides() int { return len(s.overrides) }
+
+// KillBank marks a bank dead mid-run (the kill-bank fault). Subsequent
+// BankOfPhys lookups rehome its lines across the survivors exactly as a
+// build-time dead bank would, and BankAlive/AliveBanks — hence every
+// placement decision — observe the shrunken machine. Killing the last
+// survivor or an already-dead bank is refused.
+func (s *Space) KillBank(b int) error {
+	if b < 0 || b >= s.cfg.Banks {
+		return fmt.Errorf("memsim: kill-bank %d out of range [0,%d)", b, s.cfg.Banks)
+	}
+	if s.deadBank == nil {
+		s.deadBank = make([]bool, s.cfg.Banks)
+	}
+	if s.deadBank[b] {
+		return fmt.Errorf("memsim: kill-bank %d already dead", b)
+	}
+	alive := 0
+	for i := range s.deadBank {
+		if !s.deadBank[i] {
+			alive++
+		}
+	}
+	if alive <= 1 {
+		return fmt.Errorf("memsim: kill-bank %d would leave no survivors", b)
+	}
+	s.deadBank[b] = true
+	s.survivors = s.survivors[:0]
+	for i := 0; i < s.cfg.Banks; i++ {
+		if !s.deadBank[i] {
+			s.survivors = append(s.survivors, i)
+		}
+	}
+	return nil
 }
 
 // BankAlive reports whether a bank is alive (always true without fault

@@ -1,0 +1,83 @@
+package realloc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"off",
+		"epoch=2000",
+		"epoch=2000,threshold=0.5",
+		"epoch=100,threshold=inf",
+		"epoch=100,payback=1,alpha=1",
+		"epoch=5000,threshold=0.25,budget=4,hysteresis=3,payback=8,alpha=0.5,gain=2",
+	}
+	for _, in := range cases {
+		c, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		s := c.String()
+		c2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(String(%q) = %q): %v", in, s, err)
+		}
+		if s2 := c2.String(); s2 != s {
+			t.Fatalf("String is not a fixed point: %q -> %q -> %q", in, s, s2)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, in := range []string{
+		"threshold=0.5",       // enabled knob without epoch
+		"epoch=0",             // zero epoch is "off" spelled wrong
+		"epoch=x",             // not a number
+		"epoch=100,alpha=1.5", // EWMA weight out of (0,1]
+		"epoch=100,alpha=-1",
+		"epoch=100,threshold=-1",
+		"epoch=100,payback=-2",
+		"epoch=100,budget=-1",
+		"epoch=100,bogus=3",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{Epoch: 100}.WithDefaults()
+	if c.Threshold != DefaultThreshold || c.Budget != DefaultBudget ||
+		c.Hysteresis != DefaultHysteresis || c.Payback != DefaultPayback ||
+		c.Alpha != DefaultAlpha || c.Gain != DefaultGain {
+		t.Fatalf("WithDefaults left zero knobs: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("defaulted config invalid: %v", err)
+	}
+	var off Config
+	if off.Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+	if err := off.Validate(); err != nil {
+		t.Fatalf("disabled config must validate: %v", err)
+	}
+}
+
+func TestThresholdInfString(t *testing.T) {
+	c, err := Parse("epoch=100,threshold=inf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(c.Threshold, 1) {
+		t.Fatalf("threshold=inf parsed to %v", c.Threshold)
+	}
+	if s := c.String(); !strings.Contains(s, "threshold=inf") {
+		t.Fatalf("String() = %q: +Inf must render as inf, not a float", s)
+	}
+}

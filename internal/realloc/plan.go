@@ -1,0 +1,314 @@
+package realloc
+
+import "math"
+
+// BankState is one bank's view in a planning snapshot.
+type BankState struct {
+	// Heat is the EWMA-smoothed busy cycles per epoch.
+	Heat float64
+	// Alive is false once the bank is dead or killed.
+	Alive bool
+	// X, Y are the bank's mesh coordinates (for hop distances).
+	X, Y int
+}
+
+// ChunkState is one migratable granule's view in a planning snapshot.
+type ChunkState struct {
+	// ID is the granule's base virtual address — its stable identity
+	// across epochs.
+	ID uint64
+	// Bank is the granule's current home.
+	Bank int
+	// Heat is the EWMA-smoothed accesses per epoch.
+	Heat float64
+	// Lines is the granule's size in cache lines (migration cost).
+	Lines int
+	// Cool is the remaining hysteresis pin, in epochs; a granule with
+	// Cool > 0 is not eligible for balance migration (emergency
+	// re-homes off a dead bank ignore it).
+	Cool int
+}
+
+// Snapshot is everything one epoch decision sees. Plan is a pure
+// function of it.
+type Snapshot struct {
+	Banks  []BankState
+	Chunks []ChunkState
+
+	// Threshold is the imbalance trigger (max/mean - 1 over alive
+	// banks); +Inf plans nothing at all (pure observation mode).
+	Threshold float64
+	// Budget caps balance moves (emergency re-homes are unbudgeted).
+	Budget int
+	// Payback is the horizon, in epochs, a move must pay for itself in.
+	Payback int
+	// Gain is the projected cycles saved per access moved off the
+	// hottest bank.
+	Gain float64
+	// CyclesPerAccess converts chunk heat (accesses/epoch) into bank
+	// heat (busy cycles/epoch) when projecting a move's effect.
+	CyclesPerAccess float64
+	// LineCost and HopCost are the modeled migration cost: moving a
+	// chunk costs Lines * (LineCost + hops(from,to) * HopCost) cycles.
+	LineCost, HopCost float64
+}
+
+// Move is one planned migration.
+type Move struct {
+	// Chunk is the ChunkState.ID of the migrating granule.
+	Chunk uint64
+	// From, To are the source and destination banks.
+	From, To int
+	// Rehome marks an emergency move off a dead bank (bypasses
+	// threshold, budget, hysteresis and the cost/benefit test).
+	Rehome bool
+}
+
+// Stats reports planning byproducts Plan's move list doesn't carry.
+type Stats struct {
+	// Rejected counts candidate moves whose projected saving failed to
+	// cover the modeled migration cost within the payback horizon.
+	Rejected int
+}
+
+// Plan is the epoch decision function: given a snapshot it returns the
+// migrations to apply, deterministically. The decision procedure, which
+// reference_test.go re-implements naively as the differential oracle:
+//
+//  0. Observation mode: a +Inf (or NaN) Threshold plans nothing at all —
+//     not even emergency re-homes. This is the differential-test contract:
+//     threshold=inf runs the whole reconciliation loop (telemetry reads,
+//     EWMA updates, epoch accounting) while guaranteeing the simulated
+//     machine is byte-identical to a reconciler-free run, clean or faulted.
+//  1. Emergency re-homes: every chunk whose home bank is dead moves to
+//     the alive bank minimizing (hops from the dead home, projected
+//     heat, index) — closest first, preserving as much of the original
+//     placement's affinity intent as possible. No threshold, budget,
+//     hysteresis or cost test applies: stranded data always moves.
+//  2. Balance moves, up to Budget: while the alive banks' projected
+//     imbalance max/mean - 1 is at least Threshold, take the hottest
+//     alive bank (ties: lowest index) and try its eligible chunks —
+//     unpinned, unmoved, heat > 0 — hottest first (ties: lowest
+//     index). A candidate's target is the alive bank minimizing
+//     (projected heat, hops, index), excluding the source. The move
+//     must strictly improve (target heat + chunk's cycles < source
+//     heat) and its projected saving Heat*Gain*Payback must reach the
+//     modeled cost Lines*(LineCost + hops*HopCost); cost-rejected
+//     candidates are counted in Stats. A candidate once tried —
+//     admitted or skipped — is not reconsidered within the plan. The
+//     first admitted candidate updates the projected heats and
+//     planning continues; a bank with no admissible candidate ends
+//     the phase.
+//
+// Projected heats evolve as moves are admitted, so one epoch never
+// plans two moves that are only jointly attractive. No chunk moves
+// twice in one plan. Malformed inputs (out-of-range banks, NaN or
+// negative heats) are sanitized, never panicked on.
+func Plan(s Snapshot) []Move {
+	moves, _ := PlanVerbose(s)
+	return moves
+}
+
+// PlanVerbose is Plan plus planning statistics.
+func PlanVerbose(s Snapshot) ([]Move, Stats) {
+	var st Stats
+	nb := len(s.Banks)
+	if nb == 0 || math.IsInf(s.Threshold, 1) || math.IsNaN(s.Threshold) {
+		return nil, st
+	}
+	w := make([]float64, nb) // projected heat
+	anyAlive := false
+	for b, bs := range s.Banks {
+		w[b] = sanitize(bs.Heat)
+		anyAlive = anyAlive || bs.Alive
+	}
+	if !anyAlive {
+		return nil, st
+	}
+	cpa := sanitize(s.CyclesPerAccess)
+	gain := sanitize(s.Gain)
+	lineCost := sanitize(s.LineCost)
+	hopCost := sanitize(s.HopCost)
+	payback := s.Payback
+	if payback < 1 {
+		payback = 1
+	}
+
+	var moves []Move
+	moved := make([]bool, len(s.Chunks))
+
+	// Phase 1: emergency re-homes, in chunk index order.
+	for i, c := range s.Chunks {
+		if c.Bank < 0 || c.Bank >= nb || s.Banks[c.Bank].Alive {
+			continue
+		}
+		ch := sanitize(c.Heat) * cpa
+		best, ok := -1, false
+		for t := 0; t < nb; t++ {
+			if !s.Banks[t].Alive {
+				continue
+			}
+			if !ok || rehomeBetter(s, w, c.Bank, t, best) {
+				best, ok = t, true
+			}
+		}
+		moves = append(moves, Move{Chunk: c.ID, From: c.Bank, To: best, Rehome: true})
+		w[best] += ch
+		moved[i] = true
+	}
+
+	// Phase 2: budgeted balance moves.
+	for n := 0; n < s.Budget; n++ {
+		mean, max, hot := aliveStats(s, w)
+		if mean <= 0 || max/mean-1 < s.Threshold {
+			break
+		}
+		admitted := false
+		for {
+			ci := hottestEligible(s, w, moved, hot)
+			if ci < 0 {
+				break
+			}
+			c := s.Chunks[ci]
+			ch := sanitize(c.Heat) * cpa
+			t := balanceTarget(s, w, hot)
+			if t < 0 {
+				break
+			}
+			if w[t]+ch >= w[hot] {
+				// Not strictly improving: no smaller chunk will do
+				// better against the same coolest target either, but
+				// the spec tries them — a lighter chunk can fit where
+				// a heavy one cannot.
+				moved[ci] = true // ineligible for this epoch's planning
+				continue
+			}
+			cost := float64(c.Lines) * (lineCost + float64(hops(s, hot, t))*hopCost)
+			saving := sanitize(c.Heat) * gain * float64(payback)
+			if saving < cost {
+				st.Rejected++
+				moved[ci] = true // ineligible for this epoch's planning
+				continue
+			}
+			moves = append(moves, Move{Chunk: c.ID, From: hot, To: t})
+			w[hot] -= ch
+			w[t] += ch
+			moved[ci] = true
+			admitted = true
+			break
+		}
+		if !admitted {
+			break
+		}
+	}
+	return moves, st
+}
+
+// sanitize clamps NaN and negatives to 0.
+func sanitize(x float64) float64 {
+	if !(x > 0) {
+		return 0
+	}
+	return x
+}
+
+// hops is the Manhattan distance between two banks' mesh coordinates.
+func hops(s Snapshot, a, b int) int {
+	dx := s.Banks[a].X - s.Banks[b].X
+	dy := s.Banks[a].Y - s.Banks[b].Y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// rehomeBetter reports whether alive bank t beats the incumbent as the
+// re-home target for a chunk stranded on dead bank from: minimize
+// (hops, projected heat, index).
+func rehomeBetter(s Snapshot, w []float64, from, t, incumbent int) bool {
+	ht, hi := hops(s, from, t), hops(s, from, incumbent)
+	if ht != hi {
+		return ht < hi
+	}
+	if w[t] != w[incumbent] {
+		return w[t] < w[incumbent]
+	}
+	return t < incumbent
+}
+
+// aliveStats returns the mean and max projected heat over alive banks
+// and the hottest alive bank (ties: lowest index).
+func aliveStats(s Snapshot, w []float64) (mean, max float64, hot int) {
+	n := 0
+	hot = -1
+	var sum float64
+	for b := range s.Banks {
+		if !s.Banks[b].Alive {
+			continue
+		}
+		sum += w[b]
+		n++
+		if hot < 0 || w[b] > max {
+			max, hot = w[b], b
+		}
+	}
+	if n == 0 {
+		return 0, 0, -1
+	}
+	return sum / float64(n), max, hot
+}
+
+// hottestEligible returns the index of the hottest eligible chunk homed
+// on bank `hot` (unpinned, unmoved, heat > 0; ties: lowest index), or
+// -1 when none remains.
+func hottestEligible(s Snapshot, w []float64, moved []bool, hot int) int {
+	best := -1
+	var bestHeat float64
+	for i, c := range s.Chunks {
+		if moved[i] || c.Bank != hot || c.Cool > 0 {
+			continue
+		}
+		h := sanitize(c.Heat)
+		if h <= 0 {
+			continue
+		}
+		if best < 0 || h > bestHeat {
+			best, bestHeat = i, h
+		}
+	}
+	return best
+}
+
+// balanceTarget returns the alive bank minimizing (projected heat,
+// hops from the source, index), excluding the source, or -1 when the
+// source is the only alive bank.
+func balanceTarget(s Snapshot, w []float64, from int) int {
+	best := -1
+	for t := range s.Banks {
+		if t == from || !s.Banks[t].Alive {
+			continue
+		}
+		if best < 0 {
+			best = t
+			continue
+		}
+		if w[t] != w[best] {
+			if w[t] < w[best] {
+				best = t
+			}
+			continue
+		}
+		ht, hb := hops(s, from, t), hops(s, from, best)
+		if ht != hb {
+			if ht < hb {
+				best = t
+			}
+			continue
+		}
+		// Indexes ascend in the scan, so the incumbent wins ties.
+	}
+	return best
+}

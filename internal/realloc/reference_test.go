@@ -1,0 +1,323 @@
+package realloc
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// referencePlan is the differential oracle: a deliberately naive
+// re-implementation of the decision procedure documented on Plan, built
+// from sorted candidate lists instead of single-pass scans. Any
+// divergence between the two is a bug in one of them.
+func referencePlan(s Snapshot) []Move {
+	nb := len(s.Banks)
+	if nb == 0 || math.IsInf(s.Threshold, 1) || math.IsNaN(s.Threshold) {
+		return nil
+	}
+	anyAlive := false
+	for _, b := range s.Banks {
+		anyAlive = anyAlive || b.Alive
+	}
+	if !anyAlive {
+		return nil
+	}
+	w := make([]float64, nb)
+	for b := range s.Banks {
+		w[b] = refSan(s.Banks[b].Heat)
+	}
+	cpa := refSan(s.CyclesPerAccess)
+	gain := refSan(s.Gain)
+	lineCost := refSan(s.LineCost)
+	hopCost := refSan(s.HopCost)
+	payback := s.Payback
+	if payback < 1 {
+		payback = 1
+	}
+	refHops := func(a, b int) int {
+		dx, dy := s.Banks[a].X-s.Banks[b].X, s.Banks[a].Y-s.Banks[b].Y
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+
+	var moves []Move
+	tried := make([]bool, len(s.Chunks))
+
+	// Phase 1: every chunk on a dead in-range bank re-homes, in chunk
+	// order, to the alive bank minimizing (hops, projected heat, index).
+	for i, c := range s.Chunks {
+		if c.Bank < 0 || c.Bank >= nb || s.Banks[c.Bank].Alive {
+			continue
+		}
+		var cands []int
+		for t := 0; t < nb; t++ {
+			if s.Banks[t].Alive {
+				cands = append(cands, t)
+			}
+		}
+		sort.Slice(cands, func(x, y int) bool {
+			a, b := cands[x], cands[y]
+			if ha, hb := refHops(c.Bank, a), refHops(c.Bank, b); ha != hb {
+				return ha < hb
+			}
+			if w[a] != w[b] {
+				return w[a] < w[b]
+			}
+			return a < b
+		})
+		best := cands[0]
+		moves = append(moves, Move{Chunk: c.ID, From: c.Bank, To: best, Rehome: true})
+		w[best] += refSan(c.Heat) * cpa
+		tried[i] = true
+	}
+
+	// Phase 2: Budget rounds; each admits at most one move off the
+	// hottest alive bank. Tried candidates are never reconsidered.
+	for n := 0; n < s.Budget; n++ {
+		var alive []int
+		for b := range s.Banks {
+			if s.Banks[b].Alive {
+				alive = append(alive, b)
+			}
+		}
+		sum, max, hot := 0.0, math.Inf(-1), -1
+		for _, b := range alive {
+			sum += w[b]
+			if w[b] > max {
+				max, hot = w[b], b
+			}
+		}
+		mean := sum / float64(len(alive))
+		if mean <= 0 || max/mean-1 < s.Threshold {
+			break
+		}
+		admitted := false
+		for {
+			var cs []int
+			for i, c := range s.Chunks {
+				if !tried[i] && c.Bank == hot && c.Cool <= 0 && refSan(c.Heat) > 0 {
+					cs = append(cs, i)
+				}
+			}
+			sort.Slice(cs, func(x, y int) bool {
+				if hx, hy := refSan(s.Chunks[cs[x]].Heat), refSan(s.Chunks[cs[y]].Heat); hx != hy {
+					return hx > hy
+				}
+				return cs[x] < cs[y]
+			})
+			if len(cs) == 0 {
+				break
+			}
+			ci := cs[0]
+			c := s.Chunks[ci]
+			var ts []int
+			for t := range s.Banks {
+				if t != hot && s.Banks[t].Alive {
+					ts = append(ts, t)
+				}
+			}
+			sort.Slice(ts, func(x, y int) bool {
+				a, b := ts[x], ts[y]
+				if w[a] != w[b] {
+					return w[a] < w[b]
+				}
+				if ha, hb := refHops(hot, a), refHops(hot, b); ha != hb {
+					return ha < hb
+				}
+				return a < b
+			})
+			if len(ts) == 0 {
+				break
+			}
+			t := ts[0]
+			ch := refSan(c.Heat) * cpa
+			if w[t]+ch >= w[hot] {
+				tried[ci] = true
+				continue
+			}
+			cost := float64(c.Lines) * (lineCost + float64(refHops(hot, t))*hopCost)
+			if refSan(c.Heat)*gain*float64(payback) < cost {
+				tried[ci] = true
+				continue
+			}
+			moves = append(moves, Move{Chunk: c.ID, From: hot, To: t})
+			w[hot] -= ch
+			w[t] += ch
+			tried[ci] = true
+			admitted = true
+			break
+		}
+		if !admitted {
+			break
+		}
+	}
+	return moves
+}
+
+func refSan(x float64) float64 {
+	if !(x > 0) {
+		return 0
+	}
+	return x
+}
+
+// randomSnapshot draws an adversarial snapshot: occasional dead banks,
+// out-of-range chunk homes, NaN/negative heats, inf thresholds.
+func randomSnapshot(rng *rand.Rand) Snapshot {
+	nb := 1 + rng.Intn(16)
+	wdt := 1 + rng.Intn(4)
+	banks := make([]BankState, nb)
+	for b := range banks {
+		banks[b] = BankState{
+			Heat:  badFloat(rng, 2000),
+			Alive: rng.Intn(5) != 0,
+			X:     b % wdt,
+			Y:     b / wdt,
+		}
+	}
+	chunks := make([]ChunkState, rng.Intn(32))
+	for i := range chunks {
+		bank := rng.Intn(nb)
+		if rng.Intn(16) == 0 {
+			bank = nb + rng.Intn(3) // out of range
+		}
+		if rng.Intn(16) == 0 {
+			bank = -1
+		}
+		chunks[i] = ChunkState{
+			ID:    uint64(0x1000 * (i + 1)),
+			Bank:  bank,
+			Heat:  badFloat(rng, 500),
+			Lines: rng.Intn(80) - 4,
+			Cool:  rng.Intn(4) - 1,
+		}
+	}
+	thr := rng.Float64() * 2
+	switch rng.Intn(8) {
+	case 0:
+		thr = math.Inf(1)
+	case 1:
+		thr = math.NaN()
+	case 2:
+		thr = 0
+	}
+	return Snapshot{
+		Banks:           banks,
+		Chunks:          chunks,
+		Threshold:       thr,
+		Budget:          rng.Intn(7),
+		Payback:         rng.Intn(12) - 1,
+		Gain:            badFloat(rng, 8),
+		CyclesPerAccess: badFloat(rng, 4),
+		LineCost:        badFloat(rng, 30),
+		HopCost:         badFloat(rng, 5),
+	}
+}
+
+func badFloat(rng *rand.Rand, scale float64) float64 {
+	switch rng.Intn(12) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return -rng.Float64() * scale
+	}
+	return rng.Float64() * scale
+}
+
+// TestPlanMatchesReference is the oracle differential of the issue: the
+// production planner and the naive reference must agree move-for-move on
+// a few hundred seeded adversarial snapshots.
+func TestPlanMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 250; i++ {
+		s := randomSnapshot(rng)
+		got, want := Plan(s), referencePlan(s)
+		if !movesEqual(got, want) {
+			t.Fatalf("snapshot %d: Plan() = %+v, reference = %+v\nsnapshot: %+v", i, got, want, s)
+		}
+		checkInvariants(t, s, got)
+	}
+}
+
+func movesEqual(a, b []Move) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkInvariants asserts structural properties any legal plan must have,
+// independent of the reference.
+func checkInvariants(t *testing.T, s Snapshot, moves []Move) {
+	t.Helper()
+	nb := len(s.Banks)
+	seen := map[uint64]bool{}
+	balance := 0
+	for _, m := range moves {
+		if seen[m.Chunk] {
+			t.Fatalf("chunk %#x moves twice in one plan: %+v", m.Chunk, moves)
+		}
+		seen[m.Chunk] = true
+		if m.To < 0 || m.To >= nb || !s.Banks[m.To].Alive {
+			t.Fatalf("move %+v targets a dead or out-of-range bank", m)
+		}
+		if m.From == m.To {
+			t.Fatalf("move %+v is a no-op", m)
+		}
+		if m.Rehome {
+			if m.From >= 0 && m.From < nb && s.Banks[m.From].Alive {
+				t.Fatalf("re-home %+v leaves an alive bank", m)
+			}
+		} else {
+			balance++
+			if m.From < 0 || m.From >= nb || !s.Banks[m.From].Alive {
+				t.Fatalf("balance move %+v leaves a dead bank without Rehome", m)
+			}
+		}
+	}
+	if balance > s.Budget {
+		t.Fatalf("%d balance moves exceed budget %d", balance, s.Budget)
+	}
+	if math.IsInf(s.Threshold, 1) || math.IsNaN(s.Threshold) {
+		if len(moves) != 0 {
+			t.Fatalf("observation mode (threshold=%v) planned %+v", s.Threshold, moves)
+		}
+	}
+}
+
+// FuzzReallocPlan drives the same differential from fuzzed bytes: the
+// corpus seeds cover the structured generator's space, and the engine is
+// free to mutate its way to snapshots the generator never draws.
+func FuzzReallocPlan(f *testing.F) {
+	for _, seed := range []int64{1, 2, 3, 42, 1234} {
+		f.Add(seed, uint8(8))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, rounds uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rounds%16) + 1
+		for i := 0; i < n; i++ {
+			s := randomSnapshot(rng)
+			got, want := Plan(s), referencePlan(s)
+			if !movesEqual(got, want) {
+				t.Fatalf("Plan() = %+v, reference = %+v\nsnapshot: %+v", got, want, s)
+			}
+			checkInvariants(t, s, got)
+			// Plan must be a pure function: same snapshot, same plan.
+			if again := Plan(s); !reflect.DeepEqual(got, again) {
+				t.Fatalf("Plan is not deterministic: %+v then %+v", got, again)
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"affinityalloc/internal/faults"
 	"affinityalloc/internal/memsim"
 	"affinityalloc/internal/noc"
+	"affinityalloc/internal/realloc"
 	"affinityalloc/internal/stream"
 	"affinityalloc/internal/telemetry"
 	"affinityalloc/internal/topo"
@@ -35,6 +36,12 @@ type Config struct {
 	// or lossy NoC links, and throttled DRAM channels. The zero value
 	// injects nothing and leaves every fast path untouched.
 	Faults faults.Spec
+	// Realloc enables the online reconciler: every Realloc.Epoch
+	// sim-cycles it closes an epoch at a drain barrier, plans hot-chunk
+	// migrations from EWMA-smoothed bank occupancy, and applies them as
+	// modeled NoC traffic plus address-space overrides. The zero value
+	// disables it and leaves every fast path untouched.
+	Realloc realloc.Config
 	// InlineAccounting disables the event-kernel deferred-retirement
 	// accounting path and keeps every counter update inline — a debugging
 	// knob for bisecting deferred-vs-inline divergence (there should be
@@ -94,6 +101,9 @@ type System struct {
 	Clocks *engine.Coordinator
 	// Faults is the resolved fault injector; nil on a clean machine.
 	Faults *faults.Injector
+	// Realloc is the online reconciler; nil unless Config.Realloc is
+	// enabled.
+	Realloc *realloc.Reconciler
 
 	// spans are the sim-time phases recorded via MarkPhase.
 	spans []telemetry.Span
@@ -174,18 +184,39 @@ func New(cfg Config) (*System, error) {
 		mem.AttachClock(clocks, bankShard)
 		se.AttachClock(clocks, bankShard)
 	}
+	var rec *realloc.Reconciler
+	if cfg.Realloc.Enabled() {
+		rec = realloc.NewReconciler(cfg.Realloc, space, mesh, mem, rt)
+		mem.SetAccessHook(rec.OnAccess)
+	}
+	if inj != nil && len(inj.BankKills()) > 0 {
+		// Arm the mid-run kills. When one fires the space has already
+		// remapped the bank; the injector's bookkeeping and the stream
+		// engine's dead-bank redirect catch up here. The reconciler needs
+		// no notification — its next epoch observes the dead bank and
+		// re-homes stranded granules.
+		mem.SetBankKills(inj.BankKills(), func(at engine.Time, b int) {
+			inj.NoteBankKill(at, b)
+			redirect := make([]int, mesh.Banks())
+			for i := range redirect {
+				redirect[i] = inj.NearestAlive(i)
+			}
+			se.SetBankRedirect(redirect)
+		})
+	}
 	return &System{
-		Cfg:    cfg,
-		Mesh:   mesh,
-		Space:  space,
-		Net:    net,
-		Mem:    mem,
-		Coh:    coh,
-		Cores:  cores,
-		SE:     se,
-		RT:     rt,
-		Clocks: clocks,
-		Faults: inj,
+		Cfg:     cfg,
+		Mesh:    mesh,
+		Space:   space,
+		Net:     net,
+		Mem:     mem,
+		Coh:     coh,
+		Cores:   cores,
+		SE:      se,
+		RT:      rt,
+		Clocks:  clocks,
+		Faults:  inj,
+		Realloc: rec,
 	}, nil
 }
 
@@ -296,6 +327,12 @@ func (s *System) Telemetry(finish engine.Time) *telemetry.Snapshot {
 		// runs' metrics documents byte-identical to fault-free builds.
 		s.Faults.PublishTelemetry(r)
 		r.Set("fault_bank_remapped_accesses", s.Space.RemappedAccesses)
+	}
+	if s.Realloc != nil {
+		// Same gating pattern: the realloc_* keys appear only when a
+		// migration (or a cost/benefit rejection) actually happened, so
+		// an armed-but-idle reconciler publishes nothing.
+		s.Realloc.PublishTelemetry(r)
 	}
 	for _, sp := range s.spans {
 		r.AddSpan(sp)

@@ -79,5 +79,8 @@ func (c Config) Validate() error {
 			return fmt.Errorf("sys: %v", err)
 		}
 	}
+	if err := c.Realloc.Validate(); err != nil {
+		return fmt.Errorf("sys: %v", err)
+	}
 	return nil
 }

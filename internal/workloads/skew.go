@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"affinityalloc/internal/cpu"
+	"affinityalloc/internal/engine"
+	"affinityalloc/internal/memsim"
+	"affinityalloc/internal/sys"
+)
+
+// Skew is the synthetic two-phase hotspot workload behind the online
+// re-allocation tests: 2×Chunks irregular chunks are deliberately piled
+// onto one bank (the Fig-6 oracle API makes the pathology explicit),
+// then phase 1 hammers the first half and phase 2 shifts the working
+// set to the second half. A static allocator is stuck with the pile-up;
+// the reconciler should spread the hot chunks, re-converge after the
+// phase change, and then stop migrating. The access pattern is identical
+// in every mode — modes differ only in the issue path (core loads
+// in-core, stream-engine remote ops otherwise) — so checksums agree.
+type Skew struct {
+	Chunks      int   // chunks per phase (2×Chunks allocated)
+	ChunkBytes  int64 // bytes per chunk (rounded up to a pool interleave)
+	OpsPerPhase int
+	HotBank     int
+}
+
+// DefaultSkew returns the regression-test sizing: enough ops per phase
+// for several reconciliation epochs at the test cadence.
+func DefaultSkew() Skew {
+	return Skew{Chunks: 12, ChunkBytes: 1024, OpsPerPhase: 6000, HotBank: 27}
+}
+
+// Name implements Workload.
+func (w Skew) Name() string { return "skew" }
+
+// Run implements Workload.
+func (w Skew) Run(s *sys.System, mode sys.Mode) (Result, error) {
+	total := 2 * w.Chunks
+	bases := make([]memsim.Addr, total)
+	for i := range bases {
+		addr, err := s.RT.AllocAtBank(w.ChunkBytes, w.HotBank)
+		if err != nil {
+			return Result{}, err
+		}
+		bases[i] = addr
+		s.Mem.Preload(addr, w.ChunkBytes)
+	}
+
+	cs := newChecksum()
+	var finish engine.Time
+	for phase := 0; phase < 2; phase++ {
+		lo := phase * w.Chunks
+		finish = w.runPhase(s, mode, bases[lo:lo+w.Chunks], finish, cs)
+	}
+	return Result{Name: w.Name(), Mode: mode, Metrics: s.Collect(finish), Checksum: cs.sum()}, nil
+}
+
+// runPhase hammers the given chunks with OpsPerPhase dependent ops,
+// round-robined over the chunks and striding lines within each, and
+// returns the phase finish cycle.
+func (w Skew) runPhase(s *sys.System, mode sys.Mode, chunks []memsim.Addr, start engine.Time, cs *checksum) engine.Time {
+	nC := s.NumCores()
+	lines := int(w.ChunkBytes) / memsim.LineSize
+	addrOf := func(op int) (memsim.Addr, bool) {
+		base := chunks[op%len(chunks)]
+		off := memsim.Addr((op / len(chunks) % lines) * memsim.LineSize)
+		return base + off, op%4 == 3
+	}
+	finish := start
+	var cursor int
+
+	if mode == sys.InCore {
+		for c := 0; c < nC; c++ {
+			s.Cores[c].SetNow(start)
+		}
+		interleaved(nC, func(c int) bool {
+			if cursor >= w.OpsPerPhase {
+				return false
+			}
+			va, write := addrOf(cursor)
+			cursor++
+			cs.addU64(uint64(va))
+			cc := s.Cores[c]
+			if write {
+				cc.Store(va, cpu.Irregular)
+			} else {
+				cc.Load(va, cpu.Irregular)
+			}
+			return cursor < w.OpsPerPhase
+		})
+		return engine.MaxTime(finish, coreFinish(s.Cores))
+	}
+
+	now := make([]engine.Time, nC)
+	for c := range now {
+		now[c] = start
+	}
+	interleaved(nC, func(c int) bool {
+		if cursor >= w.OpsPerPhase {
+			return false
+		}
+		va, write := addrOf(cursor)
+		cursor++
+		cs.addU64(uint64(va))
+		done, _ := s.SE.RemoteOp(now[c], c, va, write, true)
+		now[c] = done
+		if done > finish {
+			finish = done
+		}
+		return cursor < w.OpsPerPhase
+	})
+	return finish
+}
